@@ -1,0 +1,1 @@
+bench/ablation.ml: Costmodel Ctx Fmt Gensor Hardware List Ops Report

@@ -1,0 +1,1 @@
+bench/ctx.ml: Costmodel Fmt List Pipeline Report

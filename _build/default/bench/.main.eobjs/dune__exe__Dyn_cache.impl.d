@@ -1,0 +1,1 @@
+bench/dyn_cache.ml: Costmodel Ctx Dnn Fmt Gensor Hardware List Ops Report

@@ -1,0 +1,1 @@
+bench/fig1.ml: Costmodel Ctx Fmt Hardware Ops Report Roller

@@ -1,0 +1,1 @@
+bench/fig11.ml: Ctx Dnn Fmt Fun Hardware List Pipeline Report

@@ -1,0 +1,1 @@
+bench/fig12.ml: Ctx Dnn Fmt Hardware List Pipeline Report

@@ -1,0 +1,1 @@
+bench/fig6.ml: Ctx Float Fmt Hardware List Pipeline Report Workloads

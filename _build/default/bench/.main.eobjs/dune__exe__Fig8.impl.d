@@ -1,0 +1,1 @@
+bench/fig8.ml: Ctx Fmt Hardware Hashtbl List Ops Option Pipeline Report

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Ctx Dyn_cache Fig1 Fig10 Fig11 Fig12 Fig6 Fig8 Fig9 Fmt List Mem_overhead Report String Sys Tab5 Tab6 Unix Wall

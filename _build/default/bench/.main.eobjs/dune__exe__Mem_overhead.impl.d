@@ -1,0 +1,1 @@
+bench/mem_overhead.ml: Ctx Float Fmt Gc Gensor Hardware Ops Report Roller Sys

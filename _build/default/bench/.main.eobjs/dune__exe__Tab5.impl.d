@@ -1,0 +1,1 @@
+bench/tab5.ml: Costmodel Ctx Fmt Hardware List Pipeline Report Workloads

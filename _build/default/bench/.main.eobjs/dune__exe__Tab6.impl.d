@@ -1,0 +1,1 @@
+bench/tab6.ml: Costmodel Ctx Fmt Hardware List Ops Pipeline Report

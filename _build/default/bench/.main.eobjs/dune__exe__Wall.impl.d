@@ -1,0 +1,1 @@
+bench/wall.ml: Analyze Ansor Bechamel Benchmark Costmodel Ctx Fmt Gensor Hardware Hashtbl Instance List Measure Ops Report Roller Sched Staged Test Time Toolkit

@@ -1,0 +1,126 @@
+(* Ablations beyond the paper's Table VI — the design choices DESIGN.md §4
+   calls out.  Run with: dune exec bench/main.exe ablation *)
+
+let hw = Hardware.Presets.rtx4090
+
+let ops () =
+  [ ("GEMM M1", Ops.Matmul.gemm ~m:8192 ~n:8192 ~k:8192 ());
+    ("Conv C1",
+     Ops.Conv.conv2d ~batch:128 ~in_channels:256 ~out_channels:256 ~height:30
+       ~width:30 ~kernel:3 ~stride:2 ());
+    ("GEMV V1", Ops.Matmul.gemv ~m:16384 ~n:16384 ()) ]
+
+let tflops_of config compute =
+  Costmodel.Metrics.tflops
+    (Gensor.Optimizer.optimize ~config ~hw compute).Gensor.Optimizer.metrics
+
+(* 1. Graph vs tree traversal, and vthreads. *)
+let construction_variants () =
+  Ctx.section "Ablation — traversal structure";
+  let variants =
+    [ ("full graph", Gensor.Optimizer.default_config);
+      ("no backtracking (tree)",
+       Gensor.Optimizer.tree_only Gensor.Optimizer.default_config);
+      ("no vthreads",
+       Gensor.Optimizer.without_vthread Gensor.Optimizer.default_config);
+      ("tree + no vthreads",
+       Gensor.Optimizer.without_vthread
+         (Gensor.Optimizer.tree_only Gensor.Optimizer.default_config)) ]
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:("variant" :: List.map fst (ops ()))
+       (List.map
+          (fun (name, config) ->
+            name
+            :: List.map
+                 (fun (_, op) ->
+                   Report.Table.fx2 (tflops_of config (Ops.Op.compute op)))
+                 (ops ()))
+          variants))
+
+(* 2. Annealing pace: the per-level cache-sigmoid midpoint. *)
+let annealing_pace () =
+  Ctx.section "Ablation — annealing pace (cache-sigmoid midpoint)";
+  let with_midpoint midpoint =
+    let base = Gensor.Optimizer.default_config in
+    { base with
+      Gensor.Optimizer.anneal =
+        { base.Gensor.Optimizer.anneal with
+          Gensor.Anneal.mode =
+            { base.Gensor.Optimizer.anneal.Gensor.Anneal.mode with
+              Gensor.Policy.cache_midpoint = midpoint } } }
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:("midpoint (steps)" :: List.map fst (ops ()))
+       (List.map
+          (fun midpoint ->
+            Fmt.str "%.0f" midpoint
+            :: List.map
+                 (fun (_, op) ->
+                   Report.Table.fx2
+                     (tflops_of (with_midpoint midpoint) (Ops.Op.compute op)))
+                 (ops ()))
+          [ 10.0 (* the paper's constant *); 35.0 (* default *); 60.0 ]));
+  Fmt.pr
+    "(the paper's midpoint of 10 under-grows large-extent levels; the \
+     optimizer scales the midpoint with each level's step share)@."
+
+(* 3. Restart (chain) count. *)
+let restart_count () =
+  Ctx.section "Ablation — independent Markov chains";
+  Report.Table.print
+    (Report.Table.v
+       ~headers:("restarts" :: List.map fst (ops ()))
+       (List.map
+          (fun restarts ->
+            string_of_int restarts
+            :: List.map
+                 (fun (_, op) ->
+                   Report.Table.fx2
+                     (tflops_of
+                        { Gensor.Optimizer.default_config with
+                          Gensor.Optimizer.restarts }
+                        (Ops.Op.compute op)))
+                 (ops ()))
+          [ 1; 4; 12; 24 ]))
+
+(* 4. Cost-model term knockouts: optimise under an ablated model, evaluate
+   under the full one — how much each modelled effect contributes to the
+   multi-objective advantage. *)
+let model_terms () =
+  Ctx.section "Ablation — cost-model terms (optimise ablated, score full)";
+  let variants =
+    [ ("full model", Costmodel.Model.default_knobs);
+      ("no bank conflicts",
+       { Costmodel.Model.default_knobs with model_conflicts = false });
+      ("no wave tail",
+       { Costmodel.Model.default_knobs with model_tail = false }) ]
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:("optimised under" :: List.map fst (ops ()))
+       (List.map
+          (fun (name, knobs) ->
+            name
+            :: List.map
+                 (fun (_, op) ->
+                   let compute = Ops.Op.compute op in
+                   let r =
+                     Gensor.Optimizer.optimize
+                       ~config:{ Gensor.Optimizer.default_config with knobs }
+                       ~hw compute
+                   in
+                   (* Re-score the chosen schedule under the full model. *)
+                   Report.Table.fx2
+                     (Costmodel.Metrics.tflops
+                        (Costmodel.Model.evaluate ~hw r.Gensor.Optimizer.etir)))
+                 (ops ()))
+          variants))
+
+let run () =
+  construction_variants ();
+  annealing_pace ();
+  restart_count ();
+  model_terms ()

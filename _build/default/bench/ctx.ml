@@ -1,0 +1,21 @@
+(* Shared state and helpers for the experiment harness. *)
+
+let comparisons : Report.Compare.t list ref = ref []
+
+let record ~experiment ~quantity ?paper ~measured ~unit_ () =
+  comparisons :=
+    Report.Compare.v ~experiment ~quantity ?paper ~measured ~unit_ ()
+    :: !comparisons
+
+let all_comparisons () = List.rev !comparisons
+
+let tflops (output : Pipeline.Methods.output) =
+  Costmodel.Metrics.tflops output.Pipeline.Methods.metrics
+
+let section title =
+  Fmt.pr "@.=== %s ===@." title
+
+let mean values =
+  match values with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)

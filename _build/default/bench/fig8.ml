@@ -1,0 +1,51 @@
+(* Fig. 8 — compilation time of GEMMs across methods.  The paper reports
+   Roller below 1 s, Gensor a few seconds (about one order of magnitude
+   slower), and Ansor around 1000 s (3-5 orders of magnitude slower than
+   Gensor), the gap coming from on-device measurement.  We print both the
+   simulated optimisation time (Sim_time constants) and this process's real
+   wall time. *)
+
+let shapes =
+  [ (512, 512, 512); (1024, 1024, 1024); (2048, 2048, 2048);
+    (4096, 4096, 4096); (8192, 8192, 8192); (65536, 1024, 4096) ]
+
+let run () =
+  Ctx.section "Fig. 8 — compilation time for GEMM shapes";
+  let hw = Hardware.Presets.rtx4090 in
+  let methods =
+    [ Pipeline.Methods.roller (); Pipeline.Methods.gensor ();
+      Pipeline.Methods.ansor () ]
+  in
+  let rows = ref [] in
+  let times = Hashtbl.create 8 in
+  List.iter
+    (fun (m, k, n) ->
+      let op = Ops.Matmul.gemm ~m ~k ~n () in
+      let label = Fmt.str "[%d,%d,%d]" m k n in
+      List.iter
+        (fun method_ ->
+          let output = method_.Pipeline.Methods.compile ~hw op in
+          let sim = Pipeline.Methods.simulated_opt_time output in
+          let name = method_.Pipeline.Methods.name in
+          let existing = Option.value (Hashtbl.find_opt times name) ~default:[] in
+          Hashtbl.replace times name (sim :: existing);
+          rows :=
+            [ label; name; Fmt.str "%.2f" sim;
+              Fmt.str "%.3f" output.Pipeline.Methods.wall_s ]
+            :: !rows)
+        methods)
+    shapes;
+  Report.Table.print
+    (Report.Table.v
+       ~headers:[ "GEMM shape"; "method"; "opt time (sim, s)"; "wall (s)" ]
+       (List.rev !rows));
+  let avg name = Ctx.mean (Option.value (Hashtbl.find_opt times name) ~default:[]) in
+  let roller = avg "Roller" and gensor = avg "Gensor" and ansor = avg "Ansor" in
+  Fmt.pr
+    "averages: Roller %.2f s, Gensor %.2f s (%.1fx Roller), Ansor %.0f s \
+     (%.0fx Gensor)@."
+    roller gensor (gensor /. roller) ansor (ansor /. gensor);
+  Ctx.record ~experiment:"fig8" ~quantity:"Gensor/Roller opt-time ratio"
+    ~paper:10.0 ~measured:(gensor /. roller) ~unit_:"x" ();
+  Ctx.record ~experiment:"fig8" ~quantity:"Ansor/Gensor opt-time ratio"
+    ~paper:200.0 ~measured:(ansor /. gensor) ~unit_:"x" ()

@@ -1,0 +1,81 @@
+(* Table VI — ablation: Roller vs Gensor-without-vThread vs Gensor on C1,
+   GEMM (G1 = M1), V1 and P1, reporting FLOPS, SM occupancy and MemBusy.
+   The paper attributes 79.24% of the improvement to graph construction and
+   20.76% to vThread. *)
+
+let ops () =
+  [ ("Conv2d (C1)",
+     Ops.Conv.conv2d ~batch:128 ~in_channels:256 ~out_channels:256 ~height:30
+       ~width:30 ~kernel:3 ~stride:2 ());
+    ("GEMM (G1)", Ops.Matmul.gemm ~m:8192 ~n:8192 ~k:8192 ());
+    ("GEMV (V1)", Ops.Matmul.gemv ~m:16384 ~n:16384 ());
+    ("AvgPool (P1)",
+     Ops.Pool.avgpool2d ~batch:16 ~channels:48 ~height:48 ~width:48 ~window:2
+       ~stride:2 ()) ]
+
+(* Paper Table VI FLOPS (T) per op for Roller / Gensor w/o vThread / Gensor. *)
+let paper_flops =
+  [ ("Conv2d (C1)", (22.76, 31.93, 34.54)); ("GEMM (G1)", (37.6, 43.1, 45.2));
+    ("GEMV (V1)", (0.23, 0.39, 0.47)); ("AvgPool (P1)", (0.07, 0.08, 0.08)) ]
+
+let run () =
+  Ctx.section "Table VI — graph-construction and vThread ablation (RTX 4090)";
+  let hw = Hardware.Presets.rtx4090 in
+  let methods =
+    [ Pipeline.Methods.roller (); Pipeline.Methods.gensor_without_vthread ();
+      Pipeline.Methods.gensor () ]
+  in
+  let results =
+    List.map
+      (fun (label, op) ->
+        (label,
+         List.map
+           (fun m ->
+             (m.Pipeline.Methods.name, m.Pipeline.Methods.compile ~hw op))
+           methods))
+      (ops ())
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:[ "op"; "method"; "TFLOPS"; "SM Occ."; "MemBusy" ]
+       (List.concat_map
+          (fun (label, per_method) ->
+            List.map
+              (fun (name, output) ->
+                let m = output.Pipeline.Methods.metrics in
+                [ label; name;
+                  Report.Table.fx2 (Costmodel.Metrics.tflops m);
+                  Report.Table.pct m.Costmodel.Metrics.sm_occupancy;
+                  Report.Table.pct m.Costmodel.Metrics.mem_busy ])
+              per_method)
+          results));
+  (* Contribution split, aggregated across the four operators in relative
+     terms (each op's improvement normalised by its Roller baseline). *)
+  let graph_gain = ref 0.0 and vthread_gain = ref 0.0 in
+  List.iter
+    (fun (_, per_method) ->
+      match List.map (fun (_, o) -> Ctx.tflops o) per_method with
+      | [ roller; no_vt; full ] ->
+        graph_gain := !graph_gain +. ((no_vt -. roller) /. roller);
+        vthread_gain := !vthread_gain +. ((full -. no_vt) /. roller)
+      | _ -> ())
+    results;
+  let total = !graph_gain +. !vthread_gain in
+  let graph_share = if total = 0.0 then 1.0 else !graph_gain /. total in
+  Fmt.pr
+    "improvement attribution: graph construction %.1f%%, vThread %.1f%% \
+     (paper: 79.2%% / 20.8%%)@."
+    (100. *. graph_share)
+    (100. *. (1.0 -. graph_share));
+  Ctx.record ~experiment:"tab6" ~quantity:"graph-construction share of gain"
+    ~paper:0.7924 ~measured:graph_share ~unit_:"fraction" ();
+  List.iter2
+    (fun (label, per_method) (_, (paper_roller, _, paper_full)) ->
+      match List.map (fun (_, o) -> Ctx.tflops o) per_method with
+      | [ roller; _; full ] ->
+        Ctx.record ~experiment:"tab6"
+          ~quantity:(Fmt.str "Gensor/Roller on %s" label)
+          ~paper:(paper_full /. paper_roller)
+          ~measured:(full /. roller) ~unit_:"x" ()
+      | _ -> ())
+    results paper_flops

@@ -1,0 +1,59 @@
+(* Real wall-clock micro-benchmarks of the optimisers (Bechamel).
+
+   The experiment tables report simulated optimisation time; this group
+   measures what each construction actually costs inside this process, which
+   backs the Fig. 8 wall-time column. *)
+
+open Bechamel
+open Toolkit
+
+let tests () =
+  let hw = Hardware.Presets.rtx4090 in
+  let gemm = Ops.Op.compute (Ops.Matmul.gemm ~m:1024 ~n:1024 ~k:1024 ()) in
+  let gemv = Ops.Op.compute (Ops.Matmul.gemv ~m:4096 ~n:4096 ()) in
+  let quick_gensor =
+    { Gensor.Optimizer.default_config with Gensor.Optimizer.restarts = 4 }
+  in
+  Test.make_grouped ~name:"optimizers"
+    [ Test.make ~name:"roller-gemm1024"
+        (Staged.stage (fun () -> ignore (Roller.construct ~hw gemm)));
+      Test.make ~name:"gensor-gemm1024"
+        (Staged.stage (fun () ->
+             ignore (Gensor.Optimizer.optimize ~config:quick_gensor ~hw gemm)));
+      Test.make ~name:"ansor200-gemm1024"
+        (Staged.stage (fun () ->
+             let config =
+               { Ansor.Search.default_config with Ansor.Search.n_trials = 200 }
+             in
+             ignore (Ansor.Search.search ~config ~hw gemm)));
+      Test.make ~name:"gensor-gemv4096"
+        (Staged.stage (fun () ->
+             ignore (Gensor.Optimizer.optimize ~config:quick_gensor ~hw gemv)));
+      Test.make ~name:"costmodel-eval"
+        (Staged.stage
+           (let etir = Sched.Etir.create gemm in
+            fun () -> ignore (Costmodel.Model.evaluate ~hw etir))) ]
+
+let run () =
+  Ctx.section "Wall-clock optimiser micro-benchmarks (Bechamel)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns_per_run ] ->
+        rows := [ name; Fmt.str "%.3f ms" (ns_per_run /. 1e6) ] :: !rows
+      | Some _ | None -> ())
+    results;
+  Report.Table.print
+    (Report.Table.v
+       ~headers:[ "benchmark"; "time per run" ]
+       (List.sort compare !rows))

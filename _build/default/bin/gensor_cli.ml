@@ -1,0 +1,143 @@
+(* Command-line front end.
+
+   gensor compile --op M1 --method gensor --device rtx4090 [--cuda]
+   gensor ops
+   gensor model --name resnet50 --device orin [--batch 8]
+   gensor devices *)
+
+open Cmdliner
+
+let device_arg =
+  let doc = "Target device preset (rtx4090 or orin)." in
+  Arg.(value & opt string "rtx4090" & info [ "device"; "d" ] ~docv:"DEVICE" ~doc)
+
+let resolve_device name =
+  match Hardware.Presets.by_name name with
+  | Some hw -> Ok hw
+  | None -> Error (`Msg (Fmt.str "unknown device %s (rtx4090|orin)" name))
+
+let method_arg =
+  let doc = "Compilation method: gensor, roller, ansor or cublas." in
+  Arg.(value & opt string "gensor" & info [ "method"; "m" ] ~docv:"METHOD" ~doc)
+
+let resolve_method name =
+  match String.lowercase_ascii name with
+  | "gensor" -> Ok (Pipeline.Methods.gensor ())
+  | "gensor-novthread" -> Ok (Pipeline.Methods.gensor_without_vthread ())
+  | "gensor-tree" -> Ok (Pipeline.Methods.gensor_tree_only ())
+  | "roller" -> Ok (Pipeline.Methods.roller ())
+  | "ansor" -> Ok (Pipeline.Methods.ansor ())
+  | "cublas" -> Ok (Pipeline.Methods.cublas ())
+  | other -> Error (`Msg (Fmt.str "unknown method %s" other))
+
+(* ---------- compile ---------- *)
+
+let op_arg =
+  let doc = "Workload label from the benchmark suite (see `gensor ops`)." in
+  Arg.(value & opt string "M1" & info [ "op"; "o" ] ~docv:"LABEL" ~doc)
+
+let cuda_arg =
+  let doc = "Also print the generated CUDA-like kernel." in
+  Arg.(value & flag & info [ "cuda" ] ~doc)
+
+let compile_cmd =
+  let run device method_name label emit_cuda =
+    match
+      ( resolve_device device,
+        resolve_method method_name,
+        Workloads.Table_iv.find label )
+    with
+    | Error (`Msg m), _, _ | _, Error (`Msg m), _ -> `Error (false, m)
+    | _, _, None -> `Error (false, Fmt.str "unknown workload %s" label)
+    | Ok hw, Ok method_, Some entry ->
+      let op = entry.Workloads.Table_iv.op () in
+      Fmt.pr "%s: %s on %s via %s@.@." label
+        entry.Workloads.Table_iv.description
+        (Hardware.Gpu_spec.name hw) method_.Pipeline.Methods.name;
+      let output = method_.Pipeline.Methods.compile ~hw op in
+      Fmt.pr "%a@.@.%a@.@." Sched.Etir.pp output.Pipeline.Methods.etir
+        Costmodel.Metrics.pp output.Pipeline.Methods.metrics;
+      Fmt.pr "optimisation: %.2f s simulated, %.3f s wall@."
+        (Pipeline.Methods.simulated_opt_time output)
+        output.Pipeline.Methods.wall_s;
+      if emit_cuda then
+        Fmt.pr "@.%s@.%s@."
+          (Codegen.Cuda.emit output.Pipeline.Methods.etir)
+          (Codegen.Cuda.emit_host output.Pipeline.Methods.etir);
+      `Ok ()
+  in
+  let doc = "Compile one benchmark operator and print the schedule." in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(ret (const run $ device_arg $ method_arg $ op_arg $ cuda_arg))
+
+(* ---------- ops ---------- *)
+
+let ops_cmd =
+  let run () =
+    Report.Table.print
+      (Report.Table.v
+         ~headers:[ "label"; "description"; "from paper" ]
+         (List.map
+            (fun e ->
+              [ e.Workloads.Table_iv.label; e.Workloads.Table_iv.description;
+                (if e.Workloads.Table_iv.from_paper then "yes" else "") ])
+            Workloads.Table_iv.all))
+  in
+  let doc = "List the benchmark operator suite (paper Table IV)." in
+  Cmd.v (Cmd.info "ops" ~doc) Term.(const run $ const ())
+
+(* ---------- model ---------- *)
+
+let model_name_arg =
+  let doc = "Model: resnet50, resnet34, vgg16, bert, gpt2 or mobilenet." in
+  Arg.(value & opt string "resnet50" & info [ "name"; "n" ] ~docv:"MODEL" ~doc)
+
+let batch_arg =
+  let doc = "Batch size." in
+  Arg.(value & opt int 8 & info [ "batch"; "b" ] ~docv:"N" ~doc)
+
+let resolve_model name ~batch =
+  match String.lowercase_ascii name with
+  | "resnet50" -> Ok (Dnn.Resnet.resnet50 ~batch ())
+  | "resnet34" -> Ok (Dnn.Resnet.resnet34 ~batch ())
+  | "vgg16" -> Ok (Dnn.Resnet.vgg16 ~batch ())
+  | "bert" -> Ok (Dnn.Transformer.bert_small ~batch ())
+  | "gpt2" -> Ok (Dnn.Transformer.gpt2 ~batch ())
+  | "mobilenet" -> Ok (Dnn.Mobilenet.mobilenet_v2 ~batch ())
+  | other -> Error (`Msg (Fmt.str "unknown model %s" other))
+
+let model_cmd =
+  let run device method_name model_name batch =
+    match
+      (resolve_device device, resolve_method method_name,
+       resolve_model model_name ~batch)
+    with
+    | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+      `Error (false, m)
+    | Ok hw, Ok method_, Ok model ->
+      Fmt.pr "%a@.@." Dnn.Model.pp model;
+      let report = Dnn.Runner.run ~hw method_ model in
+      Fmt.pr "%a@." Dnn.Runner.pp_report report;
+      let torch = Dnn.Runner.run_pytorch ~hw model in
+      Fmt.pr "%a@." Dnn.Runner.pp_report torch;
+      `Ok ()
+  in
+  let doc = "Compile and estimate one end-to-end model." in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(
+      ret (const run $ device_arg $ method_arg $ model_name_arg $ batch_arg))
+
+(* ---------- devices ---------- *)
+
+let devices_cmd =
+  let run () =
+    List.iter (fun hw -> Fmt.pr "%a@.@." Hardware.Gpu_spec.pp hw)
+      Hardware.Presets.all
+  in
+  let doc = "Show the device presets." in
+  Cmd.v (Cmd.info "devices" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Gensor: graph-based construction tensor compilation (reproduction)" in
+  let info = Cmd.info "gensor" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; ops_cmd; model_cmd; devices_cmd ]))

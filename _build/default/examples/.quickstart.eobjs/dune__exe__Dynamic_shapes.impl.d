@@ -1,0 +1,1 @@
+examples/dynamic_shapes.ml: Dnn Fmt Hardware List Pipeline Report

@@ -1,0 +1,1 @@
+examples/edge_deployment.ml: Dnn Float Fmt Hardware List Pipeline Report

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Codegen Costmodel Exec Fmt Gensor Hardware Ops Sched

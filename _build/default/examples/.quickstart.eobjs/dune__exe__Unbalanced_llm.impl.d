@@ -1,0 +1,1 @@
+examples/unbalanced_llm.ml: Costmodel Fmt Hardware List Ops Pipeline Report

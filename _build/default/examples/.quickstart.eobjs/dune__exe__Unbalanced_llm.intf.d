@@ -1,0 +1,1 @@
+examples/unbalanced_llm.mli:

@@ -1,0 +1,43 @@
+(* Dynamic shapes: BERT-small across sequence lengths (paper Fig. 11).
+
+   A serving stack sees many sequence lengths; the choice is between
+   per-shape construction (Gensor: cheap enough to run per shape) and
+   bucketed pre-tuning (DietCode: one tuning bill, slightly slower
+   kernels).
+
+   Run with: dune exec examples/dynamic_shapes.exe *)
+
+let seqs = [ 32; 64; 128; 256 ]
+let batch = 4
+
+let () =
+  let hw = Hardware.Presets.rtx4090 in
+  let gensor =
+    Dnn.Dynamic.bert_per_shape ~hw (Pipeline.Methods.gensor ()) ~batch ~seqs
+  in
+  let roller =
+    Dnn.Dynamic.bert_per_shape ~hw (Pipeline.Methods.roller ()) ~batch ~seqs
+  in
+  let dietcode =
+    Dnn.Dynamic.bert_dietcode ~hw ~batch ~seqs ~buckets:2
+      ~trials_per_bucket:100 ()
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:[ "shape"; "method"; "items/s"; "opt (sim, s)" ]
+       (List.concat_map
+          (fun series ->
+            List.map
+              (fun r ->
+                [ r.Dnn.Dynamic.shape_label; r.Dnn.Dynamic.method_name;
+                  Fmt.str "%.0f" r.Dnn.Dynamic.throughput;
+                  Fmt.str "%.1f" r.Dnn.Dynamic.opt_sim_s ])
+              series)
+          [ roller; dietcode; gensor ]));
+  let avg series =
+    List.fold_left (fun acc r -> acc +. r.Dnn.Dynamic.throughput) 0.0 series
+    /. float_of_int (List.length series)
+  in
+  Fmt.pr
+    "@.average throughput: Roller %.0f, DietCode %.0f, Gensor %.0f items/s@."
+    (avg roller) (avg dietcode) (avg gensor)

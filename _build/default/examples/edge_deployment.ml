@@ -1,0 +1,40 @@
+(* Edge deployment: ResNet-50 on the Orin Nano preset (paper Fig. 9b).
+
+   On an edge device the optimisation-time/performance trade-off bites:
+   search-based tuning is impractical (the paper drops Ansor for memory
+   reasons), so construction methods compete on both axes.
+
+   Run with: dune exec examples/edge_deployment.exe *)
+
+let () =
+  let hw = Hardware.Presets.orin_nano in
+  let model = Dnn.Resnet.resnet50 ~batch:1 () in
+  Fmt.pr "%a on %s@.@." Dnn.Model.pp model (Hardware.Gpu_spec.name hw);
+  let reports =
+    Dnn.Runner.run_pytorch ~hw model
+    :: List.map
+         (fun m -> Dnn.Runner.run ~hw m model)
+         [ Pipeline.Methods.roller (); Pipeline.Methods.gensor () ]
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:[ "method"; "fps"; "latency (ms)"; "opt time (sim, s)" ]
+       (List.map
+          (fun r ->
+            [ r.Dnn.Runner.method_name;
+              Fmt.str "%.1f" r.Dnn.Runner.throughput;
+              Fmt.str "%.2f" (r.Dnn.Runner.exec_time_s *. 1e3);
+              Fmt.str "%.1f" r.Dnn.Runner.compile_sim_s ])
+          reports));
+  let find name =
+    List.find (fun r -> r.Dnn.Runner.method_name = name) reports
+  in
+  let gensor = find "Gensor" and roller = find "Roller" in
+  Fmt.pr
+    "@.Gensor runs %.2fx faster than the tree-based constructor for %.0fx@.\
+     its optimisation time -- amortised after %.0f inferences.@."
+    (gensor.Dnn.Runner.throughput /. roller.Dnn.Runner.throughput)
+    (gensor.Dnn.Runner.compile_sim_s /. Float.max 1e-9 roller.Dnn.Runner.compile_sim_s)
+    ((gensor.Dnn.Runner.compile_sim_s -. roller.Dnn.Runner.compile_sim_s)
+    /. Float.max 1e-9
+         (roller.Dnn.Runner.exec_time_s -. gensor.Dnn.Runner.exec_time_s))

@@ -1,0 +1,40 @@
+(* Unbalanced LLM-style GEMMs: the paper's motivating case for graph-based
+   construction (§V-A, Table V).  Shapes with one small dimension defeat
+   fixed vendor templates and regular power-of-two search sketches; Gensor's
+   backtracking traversal handles them directly.
+
+   Run with: dune exec examples/unbalanced_llm.exe *)
+
+let shapes =
+  [ ("decode attention out-proj", 65536, 4, 1024);
+    ("speculative batch", 32768, 64, 2048);
+    ("router projection", 16384, 32, 1024);
+    ("balanced reference", 4096, 4096, 4096) ]
+
+let () =
+  let hw = Hardware.Presets.rtx4090 in
+  let methods = Pipeline.Methods.standard () in
+  let rows =
+    List.concat_map
+      (fun (name, m, k, n) ->
+        let op = Ops.Matmul.gemm ~m ~k ~n () in
+        List.map
+          (fun method_ ->
+            let output = method_.Pipeline.Methods.compile ~hw op in
+            let metrics = output.Pipeline.Methods.metrics in
+            [ Fmt.str "%s [%d,%d,%d]" name m k n;
+              method_.Pipeline.Methods.name;
+              Report.Table.fx2 (Costmodel.Metrics.tflops metrics);
+              Report.Table.fx3 (Costmodel.Metrics.exec_time_ms metrics);
+              Report.Table.pct metrics.Costmodel.Metrics.mem_busy ])
+          methods)
+      shapes
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:[ "workload"; "method"; "TFLOPS"; "ms"; "mem busy" ]
+       rows);
+  Fmt.pr
+    "@.Note how the fixed-template vendor library and the power-of-two search@.\
+     lose ground on the skewed shapes while staying competitive on the@.\
+     balanced reference -- the paper's Table V phenomenon.@."

@@ -1,0 +1,1 @@
+lib/ansor/search.ml: Array Costmodel Etir Hardware List Option Rng Sched Unix

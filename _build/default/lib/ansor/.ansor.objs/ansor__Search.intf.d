@@ -1,0 +1,1 @@
+lib/ansor/search.mli: Costmodel Hardware Sched Tensor_lang

@@ -1,0 +1,28 @@
+(** Search-based auto-scheduling baseline (Ansor, OSDI'20).
+
+    Evolutionary search over power-of-two tile chains; every evaluated
+    candidate corresponds to a hardware measurement in the real system, so
+    [trials] is the quantity optimisation time scales with. *)
+
+type config = {
+  seed : int;
+  n_trials : int;
+  population : int;
+  mutation_rate : float;
+}
+
+val default_config : config
+
+type result = {
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+  trials : int;
+  wall_time_s : float;
+}
+
+val search :
+  ?config:config ->
+  ?knobs:Costmodel.Model.knobs ->
+  hw:Hardware.Gpu_spec.t ->
+  Tensor_lang.Compute.t ->
+  result

@@ -1,0 +1,1 @@
+lib/codegen/cuda.ml: Access Array Axis Buffer Compute Costmodel Dtype Etir Expr Fmt Index Launch List Sched String Tensor_lang

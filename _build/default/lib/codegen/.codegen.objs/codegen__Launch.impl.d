@@ -1,0 +1,1 @@
+lib/codegen/launch.ml: Array Costmodel Etir Fmt List Sched

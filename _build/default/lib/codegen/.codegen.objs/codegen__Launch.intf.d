@@ -1,0 +1,1 @@
+lib/codegen/launch.mli: Fmt Sched

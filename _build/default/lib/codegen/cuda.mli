@@ -1,0 +1,12 @@
+(** CUDA-like source emission from a scheduled ETIR.
+
+    The emitted kernel mirrors the scheduled executor's loop structure
+    (block tiles, vthread stripes, chunked staged reduction, unrolled inner
+    chunk).  Rendering only — this environment has no GPU toolchain; the
+    test suite asserts structural invariants of the text. *)
+
+(** Kernel source text. *)
+val emit : Sched.Etir.t -> string
+
+(** Host-side launch snippet. *)
+val emit_host : Sched.Etir.t -> string

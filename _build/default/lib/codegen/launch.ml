@@ -1,0 +1,50 @@
+(* Launch configuration derived from an ETIR: how the spatial tiles map onto
+   the CUDA grid/block hierarchy. *)
+
+open Sched
+
+type t = {
+  grid : int * int * int;
+  block : int * int * int;
+  smem_bytes : int;
+  vthreads_total : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Collapse per-dimension counts into at most three launch dimensions,
+   folding leading dimensions into z (the CUDA convention of linearising
+   batch-like axes). *)
+let collapse counts =
+  match List.rev counts with
+  | [] -> (1, 1, 1)
+  | [ x ] -> (x, 1, 1)
+  | x :: y :: rest -> (x, y, List.fold_left ( * ) 1 rest)
+
+let of_etir etir =
+  let n = Etir.num_spatial etir in
+  let sext = Etir.spatial_extents etir in
+  let blocks =
+    List.init n (fun i -> ceil_div sext.(i) (Etir.stile_eff etir ~level:1 ~dim:i))
+  in
+  let threads = List.init n (fun i -> Etir.physical_threads_dim etir i) in
+  let vthreads_total =
+    List.fold_left ( * ) 1 (List.init n (fun i -> Etir.vthread etir ~dim:i))
+  in
+  { grid = collapse blocks;
+    block = collapse threads;
+    smem_bytes = Costmodel.Footprint.bytes_at etir ~level:1;
+    vthreads_total }
+
+let total_blocks t =
+  let x, y, z = t.grid in
+  x * y * z
+
+let threads_per_block t =
+  let x, y, z = t.block in
+  x * y * z
+
+let pp ppf t =
+  let gx, gy, gz = t.grid and bx, by, bz = t.block in
+  Fmt.pf ppf "<<<dim3(%d,%d,%d), dim3(%d,%d,%d), %d>>>" gx gy gz bx by bz
+    t.smem_bytes

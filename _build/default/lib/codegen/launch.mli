@@ -1,0 +1,13 @@
+(** Launch configuration of a scheduled kernel. *)
+
+type t = {
+  grid : int * int * int;
+  block : int * int * int;
+  smem_bytes : int;
+  vthreads_total : int;
+}
+
+val of_etir : Sched.Etir.t -> t
+val total_blocks : t -> int
+val threads_per_block : t -> int
+val pp : t Fmt.t

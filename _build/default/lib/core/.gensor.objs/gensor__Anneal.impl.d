@@ -1,0 +1,1 @@
+lib/core/anneal.ml: Action Etir Float Hashtbl List Policy Rng Sched

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Action Array Costmodel Etir Hashtbl List Queue Sched

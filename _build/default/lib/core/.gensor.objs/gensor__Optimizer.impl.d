@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Anneal Axis Compute Costmodel Etir Float Hardware Hashtbl List Policy Rng Sched Tensor_lang Unix

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Anneal Costmodel Hardware Sched Tensor_lang

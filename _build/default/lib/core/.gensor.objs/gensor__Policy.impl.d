@@ -1,0 +1,1 @@
+lib/core/policy.ml: Action Array Benefit Etir List Rng Sched

@@ -1,0 +1,1 @@
+lib/core/value_iter.ml: Array Float Graph List Policy

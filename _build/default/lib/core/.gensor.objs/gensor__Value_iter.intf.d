@@ -1,0 +1,1 @@
+lib/core/value_iter.mli: Graph Hardware Policy

@@ -1,0 +1,85 @@
+(* The construction loop — paper Algorithm 1.
+
+   Starting from the unscheduled ETIR, the chain repeatedly draws a
+   scheduling primitive from the Markov policy and applies it, halving the
+   temperature each iteration until it crosses the threshold.  Visited states
+   are sampled into [top_results] with the paper's temperature-dependent
+   probability; the caller evaluates that sample (plus the final state) to
+   pick the construction result. *)
+
+open Sched
+
+type config = {
+  t0 : float;            (* initial temperature *)
+  threshold : float;     (* stop when T falls below this *)
+  mode : Policy.mode;
+}
+
+(* T halves each step, so t0/threshold = 2^150 gives ~150 construction
+   iterations — the paper reports convergence around 100; ours needs a
+   little more because large-extent tensors take ~13 doublings per
+   dimension per level. *)
+let default_config = {
+  t0 = Float.pow 2.0 75.0;
+  threshold = Float.pow 2.0 (-75.0);
+  mode = Policy.graph_mode;
+}
+
+type outcome = {
+  final : Etir.t;
+  top_results : Etir.t list;  (* sampled states, deduplicated, final first *)
+  steps : int;                (* policy evaluations performed *)
+  transitions_taken : int;    (* steps that actually moved *)
+}
+
+(* The paper's top-result sampling probability,
+   1 - 1 / (1 + e^{-0.5(-log T - 10)}), floored at 25%: the printed formula
+   decays to ~0 at low temperature, which would leave the near-converged
+   states — usually the best ones — out of the sample entirely. *)
+let append_probability ~temperature =
+  Float.max 0.25
+    (1.0 -. (1.0 /. (1.0 +. exp (-0.5 *. (-.log temperature -. 10.0)))))
+
+let run ~hw ~rng ?(config = default_config) etir0 =
+  let top : (string, Etir.t) Hashtbl.t = Hashtbl.create 64 in
+  let consider etir =
+    let key = Etir.signature etir in
+    if not (Hashtbl.mem top key) then Hashtbl.add top key etir
+  in
+  (* [level_entry] is the iteration at which the chain entered the current
+     memory level; the cache multiplier's clock restarts there. *)
+  let rec loop etir temperature ~iteration ~level_entry ~moved =
+    if temperature <= config.threshold then (etir, iteration, moved)
+    else begin
+      let level_age = iteration - level_entry in
+      let choices =
+        Policy.transitions ~hw ~mode:config.mode ~iteration:level_age etir
+      in
+      let etir', level_entry', moved' =
+        match Policy.select rng choices with
+        | None -> (etir, level_entry, moved)
+        | Some choice ->
+          if Rng.float rng < append_probability ~temperature then
+            consider choice.Policy.next;
+          let entry =
+            match choice.Policy.action with
+            | Action.Cache -> iteration + 1
+            | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ ->
+              level_entry
+          in
+          (choice.Policy.next, entry, moved + 1)
+      in
+      loop etir' (temperature /. 2.0) ~iteration:(iteration + 1)
+        ~level_entry:level_entry' ~moved:moved'
+    end
+  in
+  let final, steps, transitions_taken =
+    loop etir0 config.t0 ~iteration:0 ~level_entry:0 ~moved:0
+  in
+  consider final;
+  let top_results =
+    final
+    :: (Hashtbl.fold (fun _ etir acc -> etir :: acc) top []
+       |> List.filter (fun etir -> not (Etir.equal etir final)))
+  in
+  { final; top_results; steps; transitions_taken }

@@ -1,0 +1,28 @@
+(** The simulated-annealing construction loop — paper Algorithm 1. *)
+
+type config = {
+  t0 : float;
+  threshold : float;  (** loop while T > threshold, halving T each step *)
+  mode : Policy.mode;
+}
+
+(** ~100 iterations (t0/threshold = 2^100), full graph mode. *)
+val default_config : config
+
+type outcome = {
+  final : Sched.Etir.t;
+  top_results : Sched.Etir.t list;
+      (** sampled states, deduplicated, final state first *)
+  steps : int;
+  transitions_taken : int;
+}
+
+(** The paper's top-result sampling probability at a given temperature. *)
+val append_probability : temperature:float -> float
+
+val run :
+  hw:Hardware.Gpu_spec.t ->
+  rng:Sched.Rng.t ->
+  ?config:config ->
+  Sched.Etir.t ->
+  outcome

@@ -1,0 +1,112 @@
+(* The paper's transition-benefit formulas (§IV-B, Eq. 1-3).
+
+   Benefits are purely analytical: they are computed from the tensor
+   program's traffic/footprint and the device's theoretical figures, never by
+   running the cost model's full pipeline — this is what lets construction
+   avoid per-step profiling.  A benefit > 1 means the action is expected to
+   speed the program up; shrink (inverse-tiling) actions naturally receive
+   the reciprocal ratio, which keeps backtracking possible at low
+   probability. *)
+
+open Sched
+
+(* Eq. 1: the tiling benefit balances the reduction in memory traffic
+   against the increase in memory footprint,
+   Benefit = (Q(T)/Q(T')) / (F(T')/F(T))^β.
+   Q and F are taken at the level the action modifies.  β < 1 because the
+   footprint's hard constraint is the capacity check — the exponent only
+   breaks ties toward footprint-lean configurations.  (The paper's printed
+   form, Q·F'/(Q'·F), is exactly 2 for every GEMM grow action and therefore
+   carries no gradient; we read the prose intent instead.)
+
+   At the register level the same action also widens the per-thread unroll
+   chunk, so the benefit carries an instruction-level-parallelism factor —
+   the paper's unroll primitive (Table I) folded into register tiling. *)
+let footprint_exponent = 0.25
+
+(* Sharpens the traffic gradient so grow:shrink odds are ~6:1 instead of
+   ~1.4:1 — a plain Q/Q' ratio makes the chain a nearly unbiased random walk
+   that cannot cover 13 doublings per dimension in a level's budget. *)
+let traffic_exponent = 3.0
+let ilp_overhead = 8.0
+
+let ilp_ratio ~before ~after =
+  let chunk etir = float_of_int (Costmodel.Model.thread_chunk_flops etir) in
+  let eff c = c /. (c +. ilp_overhead) in
+  eff (chunk after) /. eff (chunk before)
+
+(* Parallelism factor: ratio of achievable occupancies.  The paper's
+   hardware guidance includes "parallelism features" (§III); without this
+   term nothing drives block-tile growth on operators whose traffic barely
+   depends on it (GEMV, pooling), which is precisely the multi-objective
+   edge over Roller's single objective. *)
+let parallelism_ratio ~hw ~before ~after =
+  let occ etir =
+    Float.max 0.02 (Costmodel.Occupancy.of_etir etir ~hw).Costmodel.Occupancy.sm_occupancy
+  in
+  occ after /. occ before
+
+let tiling ~hw ~before ~after ~level =
+  let q = Costmodel.Traffic.bytes_into before ~level in
+  let q' = Costmodel.Traffic.bytes_into after ~level in
+  let f = float_of_int (Costmodel.Footprint.bytes_at before ~level) in
+  let f' = float_of_int (Costmodel.Footprint.bytes_at after ~level) in
+  if q' <= 0.0 || f <= 0.0 || f' <= 0.0 then 0.0
+  else begin
+    let traffic_gain = Float.pow (q /. q') traffic_exponent in
+    let footprint_cost = Float.pow (f' /. f) footprint_exponent in
+    let base = traffic_gain /. footprint_cost in
+    let base = base *. parallelism_ratio ~hw ~before ~after in
+    if level = 0 then base *. ilp_ratio ~before ~after else base
+  end
+
+(* Eq. 2: Benefit_caching = (L_low + S/B_low) / (L_high + S/B_high).
+   Moving the working set S from the slower memory feeding level [cur] into
+   the next faster level. *)
+let caching ~(hw : Hardware.Gpu_spec.t) etir =
+  let cur = Etir.cur_level etir in
+  if cur <= 0 then 0.0
+  else begin
+    let s_data = Costmodel.Footprint.bytes_at etir ~level:(cur - 1) in
+    let s_data = max s_data 1 in
+    let low = Hardware.Gpu_spec.level hw (cur + 1) in
+    let high = Hardware.Gpu_spec.level hw cur in
+    let clock = Hardware.Gpu_spec.clock_ghz hw in
+    let t_low = Hardware.Mem_level.transfer_seconds low ~clock_ghz:clock ~bytes:s_data in
+    let t_high = Hardware.Mem_level.transfer_seconds high ~clock_ghz:clock ~bytes:s_data in
+    if t_high <= 0.0 then 0.0 else t_low /. t_high
+  end
+
+(* Eq. 3: Benefit_vThread = ceil(x/W) / ceil(x/(V'·W)) with V normalised so
+   the ratio compares the current V against the proposed V'.  x is the
+   per-thread stripe width in bytes along the innermost-varying dimension. *)
+let vthread ~(hw : Hardware.Gpu_spec.t) ~before ~after ~dim =
+  let smem = Hardware.Gpu_spec.level hw 1 in
+  let w = Hardware.Mem_level.bank_width_bytes smem in
+  let elem_bytes = 4 in
+  let x = Etir.stile before ~level:0 ~dim * elem_bytes in
+  let v = Etir.vthread before ~dim and v' = Etir.vthread after ~dim in
+  let ceil_div a b = (a + b - 1) / b in
+  let conflicts vv = float_of_int (ceil_div x (vv * w)) in
+  if conflicts v' <= 0.0 then 0.0 else conflicts v /. conflicts v'
+
+(* Benefit of one legal transition [before --action--> after].  Zero when the
+   successor violates a cache capacity (the paper's memory check).  Launch
+   limits are not checked here: construction may pass through transiently
+   launch-infeasible states (block tiles grow before thread tiles exist) and
+   final selection filters them.
+
+   The raw Eq. 2 ratio lives on a different scale than the Eq. 1/Eq. 3
+   ratios (memory-level latency gaps are 3-8x while tiling gains hover near
+   2x), so it is squashed to (0, 1) before the annealing multiplier scales
+   it; otherwise the cache switch fires before a level's tiles have grown. *)
+let of_action ~hw ~before ~after (action : Action.t) =
+  if not (Costmodel.Mem_check.ok_capacity after ~hw) then 0.0
+  else
+    match action with
+    | Action.Tile { level; _ } | Action.Rtile { level; _ } ->
+      tiling ~hw ~before ~after ~level
+    | Action.Cache ->
+      let ratio = caching ~hw before in
+      ratio /. (1.0 +. ratio)
+    | Action.Set_vthread { dim; _ } -> vthread ~hw ~before ~after ~dim

@@ -1,0 +1,47 @@
+(** Analytical transition benefits — paper §IV-B, Eq. 1–3.
+
+    Benefits are computed from traffic/footprint analysis and device figures
+    only (no pipeline-model evaluation), which is what makes construction
+    profiling-free.  All functions return a non-negative ratio; > 1 predicts
+    a speed-up. *)
+
+(** Eq. 1: tiling benefit — traffic reduction [Q/Q'] balanced against
+    footprint growth [(F'/F)^β] at the modified level, multiplied by the
+    occupancy (parallelism) ratio, with an instruction-level-parallelism
+    (unroll) factor at the register level. *)
+val tiling :
+  hw:Hardware.Gpu_spec.t ->
+  before:Sched.Etir.t ->
+  after:Sched.Etir.t ->
+  level:int ->
+  float
+
+(** ILP-efficiency ratio between two states' per-thread unroll chunks. *)
+val ilp_ratio : before:Sched.Etir.t -> after:Sched.Etir.t -> float
+
+(** Occupancy ratio between two states (the "parallelism features"
+    guidance of paper §III). *)
+val parallelism_ratio :
+  hw:Hardware.Gpu_spec.t -> before:Sched.Etir.t -> after:Sched.Etir.t -> float
+
+(** Eq. 2: caching benefit [(L_low + S/B_low) / (L_high + S/B_high)] of
+    switching scheduling to the next faster memory level; 0 when already at
+    the registers. *)
+val caching : hw:Hardware.Gpu_spec.t -> Sched.Etir.t -> float
+
+(** Eq. 3: virtual-thread benefit [⌈x/W⌉ / ⌈x/(V'·W)⌉] along [dim]. *)
+val vthread :
+  hw:Hardware.Gpu_spec.t ->
+  before:Sched.Etir.t ->
+  after:Sched.Etir.t ->
+  dim:int ->
+  float
+
+(** Benefit of a legal transition; 0 when the successor fails the memory
+    check (paper §IV-C). *)
+val of_action :
+  hw:Hardware.Gpu_spec.t ->
+  before:Sched.Etir.t ->
+  after:Sched.Etir.t ->
+  Sched.Action.t ->
+  float

@@ -1,0 +1,108 @@
+(* Explicit construction-graph exploration.
+
+   Used by the Fig. 1 demonstration, the §IV-D analysis and the test suite:
+   enumerate the states reachable from a seed within a bounded number of
+   action applications, deduplicated by signature. *)
+
+open Sched
+
+type t = {
+  states : Etir.t array;
+  index_of : (string, int) Hashtbl.t;
+  edges : (int * Action.t * int) list;  (* (from, action, to) *)
+}
+
+let explore ?(max_states = 2000) ?(max_depth = max_int) seed_state =
+  let index_of = Hashtbl.create 256 in
+  let states = ref [] in
+  let edges = ref [] in
+  let count = ref 0 in
+  let intern etir =
+    let key = Etir.signature etir in
+    match Hashtbl.find_opt index_of key with
+    | Some idx -> (idx, false)
+    | None ->
+      let idx = !count in
+      incr count;
+      Hashtbl.add index_of key idx;
+      states := etir :: !states;
+      (idx, true)
+  in
+  let queue = Queue.create () in
+  let seed_idx, _ = intern seed_state in
+  Queue.add (seed_idx, seed_state, 0) queue;
+  while not (Queue.is_empty queue) do
+    let idx, etir, depth = Queue.pop queue in
+    if depth < max_depth then
+      List.iter
+        (fun (action, next) ->
+          if !count < max_states then begin
+            let next_idx, fresh = intern next in
+            edges := (idx, action, next_idx) :: !edges;
+            if fresh then Queue.add (next_idx, next, depth + 1) queue
+          end)
+        (Action.successors etir)
+  done;
+  { states = Array.of_list (List.rev !states); index_of;
+    edges = List.rev !edges }
+
+let size t = Array.length t.states
+let edges t = t.edges
+let state t idx = t.states.(idx)
+
+let index t etir = Hashtbl.find_opt t.index_of (Etir.signature etir)
+
+(* Best state in the explored region under the performance model. *)
+let best ~hw ?knobs t =
+  let best = ref None in
+  Array.iter
+    (fun etir ->
+      if Costmodel.Mem_check.ok etir ~hw then begin
+        let metrics = Costmodel.Model.evaluate ?knobs ~hw etir in
+        match !best with
+        | Some (_, m) when Costmodel.Metrics.score m >= Costmodel.Metrics.score metrics
+          ->
+          ()
+        | Some _ | None -> best := Some (etir, metrics)
+      end)
+    t.states;
+  !best
+
+(* Strongly-connected check restricted to non-cache edges: are all same-level
+   states mutually reachable (the paper's same-level irreducibility)? *)
+let same_level_mutually_reachable t =
+  let n = size t in
+  if n = 0 then true
+  else begin
+    let adj = Array.make n [] and radj = Array.make n [] in
+    List.iter
+      (fun (src, action, dst) ->
+        match action with
+        | Action.Cache -> ()
+        | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ ->
+          adj.(src) <- dst :: adj.(src);
+          radj.(dst) <- src :: radj.(dst))
+      t.edges;
+    let reach graph start =
+      let seen = Array.make n false in
+      let rec go idx =
+        if not seen.(idx) then begin
+          seen.(idx) <- true;
+          List.iter go graph.(idx)
+        end
+      in
+      go start;
+      seen
+    in
+    let level0 = Etir.cur_level t.states.(0) in
+    let fwd = reach adj 0 and bwd = reach radj 0 in
+    (* Every state at the seed's level reachable from the seed must be able
+       to return to it. *)
+    let ok = ref true in
+    Array.iteri
+      (fun idx etir ->
+        if Etir.cur_level etir = level0 && fwd.(idx) && not bwd.(idx) then
+          ok := false)
+      t.states;
+    !ok
+  end

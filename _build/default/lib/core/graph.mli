@@ -1,0 +1,20 @@
+(** Explicit exploration of the construction graph (bounded BFS). *)
+
+type t
+
+val explore : ?max_states:int -> ?max_depth:int -> Sched.Etir.t -> t
+val size : t -> int
+val edges : t -> (int * Sched.Action.t * int) list
+val state : t -> int -> Sched.Etir.t
+val index : t -> Sched.Etir.t -> int option
+
+(** Best launchable state in the explored region under the model. *)
+val best :
+  hw:Hardware.Gpu_spec.t ->
+  ?knobs:Costmodel.Model.knobs ->
+  t ->
+  (Sched.Etir.t * Costmodel.Metrics.t) option
+
+(** Same-level mutual reachability through non-cache edges — the paper's
+    §IV-D irreducibility property. *)
+val same_level_mutually_reachable : t -> bool

@@ -1,0 +1,170 @@
+(* Public entry point of Gensor: run several independent Markov construction
+   chains, pool their sampled states, and return the best configuration under
+   the analytical performance model.
+
+   The per-step guidance uses only the Eq. 1-3 benefit formulas; the full
+   pipeline model is evaluated once per *sampled* state at the very end,
+   mirroring the paper's "select the optimization path that promises the
+   highest expected efficiency without repeatedly iterating code generation
+   and profiling". *)
+
+open Sched
+
+type config = {
+  seed : int;
+  restarts : int;            (* independent chains *)
+  anneal : Anneal.config;
+  knobs : Costmodel.Model.knobs;
+}
+
+let default_config = {
+  seed = 42;
+  restarts = 12;
+  anneal = Anneal.default_config;
+  knobs = Costmodel.Model.default_knobs;
+}
+
+(* Table VI ablation variants. *)
+let with_mode config f =
+  { config with
+    anneal =
+      { config.anneal with Anneal.mode = f config.anneal.Anneal.mode } }
+
+let without_vthread config =
+  with_mode config (fun mode -> { mode with Policy.vthread_enabled = false })
+
+let tree_only config =
+  with_mode config (fun mode -> { mode with Policy.tree_mode = true })
+
+type result = {
+  etir : Etir.t;
+  metrics : Costmodel.Metrics.t;
+  states_explored : int;      (* policy steps across all chains *)
+  candidates_evaluated : int; (* states scored by the full model at the end *)
+  wall_time_s : float;
+}
+
+(* Budget the chain by the work it has to do: roughly one doubling per
+   dimension per level, padded for stochastic detours.  The cache sigmoid's
+   midpoint lands at ~70% of a level's share so each level converges before
+   its successor starts. *)
+let sized_anneal_config base compute ~levels =
+  let open Tensor_lang in
+  let log2 n = int_of_float (ceil (Float.log2 (float_of_int (max 2 n)))) in
+  let doublings =
+    List.fold_left (fun acc ax -> acc + log2 (Axis.extent ax)) 0 (Compute.axes compute)
+  in
+  let per_level = max 25 (doublings * 8 / 5) in
+  let iterations = (levels + 1) * per_level in
+  (* The configured midpoint acts as a pace multiplier relative to the
+     default: halving it makes every level cache twice as eagerly. *)
+  let pace =
+    base.Anneal.mode.Policy.cache_midpoint
+    /. Policy.graph_mode.Policy.cache_midpoint
+  in
+  { Anneal.t0 = Float.pow 2.0 (float_of_int iterations /. 2.0);
+    threshold = Float.pow 2.0 (-.float_of_int iterations /. 2.0);
+    mode =
+      { base.Anneal.mode with
+        Policy.cache_midpoint = 0.7 *. pace *. float_of_int per_level } }
+
+(* [warm_start] seeds construction with an existing schedule retargeted at
+   the new shape (the paper's ongoing-work direction: real-time
+   re-optimisation of dynamic networks).  Warm chains run a shortened
+   anneal — they refine instead of rebuilding. *)
+let optimize ?(config = default_config) ?warm_start ~hw compute =
+  let start = Unix.gettimeofday () in
+  let levels = Hardware.Gpu_spec.schedulable_cache_levels hw in
+  let initial =
+    match warm_start with
+    | None -> Etir.create ~num_levels:levels compute
+    | Some seed_etir -> Etir.with_cur_level (Etir.retarget seed_etir compute) 0
+  in
+  let rng = Rng.create ~seed:config.seed in
+  let anneal_config =
+    let sized = sized_anneal_config config.anneal compute ~levels in
+    match warm_start with
+    | None -> sized
+    | Some _ ->
+      (* A quarter of the cold budget: the seed is already deep in the
+         graph; chains only need local refinement. *)
+      { sized with
+        Anneal.t0 = Float.pow 2.0 (Float.log2 sized.Anneal.t0 /. 4.0);
+        threshold =
+          Float.pow 2.0 (Float.log2 sized.Anneal.threshold /. 4.0) }
+  in
+  (* Memory-bound operators have a flat optimisation landscape (any schedule
+     saturating bandwidth is near-optimal), so fewer chains suffice. *)
+  let restarts =
+    let open Tensor_lang in
+    let intensity =
+      float_of_int (Compute.total_flops compute)
+      /. float_of_int (Compute.input_bytes compute + Compute.output_bytes compute)
+    in
+    if intensity < 8.0 then min 4 (max 1 config.restarts)
+    else max 1 config.restarts
+  in
+  let outcomes =
+    List.init restarts (fun _ ->
+        let chain_rng = Rng.split rng in
+        Anneal.run ~hw ~rng:chain_rng ~config:anneal_config initial)
+  in
+  let states_explored =
+    List.fold_left (fun acc o -> acc + o.Anneal.steps) 0 outcomes
+  in
+  (* Pool and deduplicate every sampled state; keep only launchable ones. *)
+  let pool : (string, Etir.t) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun outcome ->
+      List.iter
+        (fun etir ->
+          let key = Etir.signature etir in
+          if not (Hashtbl.mem pool key) && Costmodel.Mem_check.ok etir ~hw then
+            Hashtbl.add pool key etir)
+        outcome.Anneal.top_results)
+    outcomes;
+  if Hashtbl.length pool = 0 then Hashtbl.add pool (Etir.signature initial) initial;
+  let evaluated = ref 0 in
+  let scored =
+    Hashtbl.fold
+      (fun _ etir acc ->
+        incr evaluated;
+        (etir, Costmodel.Model.evaluate ~knobs:config.knobs ~hw etir) :: acc)
+      pool []
+  in
+  let ranked =
+    List.sort
+      (fun (_, a) (_, b) ->
+        compare (Costmodel.Metrics.score b) (Costmodel.Metrics.score a))
+      scored
+  in
+  (* Local polish of the leading states: follow the model's gradient through
+     the same action edges while it strictly improves.  This is part of the
+     final selection ("the optimization path that promises the highest
+     expected efficiency"), not of the profiling-free traversal; it mostly
+     irons out seed variance. *)
+  let leaders = List.filteri (fun i _ -> i < 4) ranked in
+  let polished =
+    List.map
+      (fun (etir, _) ->
+        let etir, metrics, evals =
+          Costmodel.Polish.greedy ~knobs:config.knobs ~budget:32 ~hw etir
+        in
+        evaluated := !evaluated + evals;
+        (etir, metrics))
+      leaders
+  in
+  let etir, metrics =
+    match polished with
+    | [] -> (initial, Costmodel.Model.evaluate ~knobs:config.knobs ~hw initial)
+    | first :: rest ->
+      List.fold_left
+        (fun (be, bm) (e, m) ->
+          if Costmodel.Metrics.score m > Costmodel.Metrics.score bm then (e, m)
+          else (be, bm))
+        first rest
+  in
+  { etir; metrics;
+    states_explored;
+    candidates_evaluated = !evaluated;
+    wall_time_s = Unix.gettimeofday () -. start }

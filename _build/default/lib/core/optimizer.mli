@@ -1,0 +1,41 @@
+(** Gensor's public optimiser API.
+
+    Runs independent Markov construction chains (paper Algorithms 1–2),
+    pools their sampled states and returns the best configuration under the
+    analytical performance model. *)
+
+type config = {
+  seed : int;
+  restarts : int;
+  anneal : Anneal.config;
+  knobs : Costmodel.Model.knobs;
+}
+
+val default_config : config
+
+(** Table VI ablations: disable virtual threads / disable backtracking
+    (tree degeneration). *)
+
+val without_vthread : config -> config
+val tree_only : config -> config
+
+type result = {
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+  states_explored : int;
+  candidates_evaluated : int;
+  wall_time_s : float;
+}
+
+(** [optimize ~hw compute] runs the full construction.  [warm_start] seeds
+    every chain with an existing schedule retargeted at [compute] and cuts
+    the annealing budget to a quarter — the incremental re-optimisation the
+    paper's ongoing-work section sketches for dynamic networks.  Raises
+    [Invalid_argument] if the warm-start schedule's axis structure does not
+    match [compute]. *)
+val optimize :
+  ?config:config ->
+  ?warm_start:Sched.Etir.t ->
+  hw:Hardware.Gpu_spec.t ->
+  Tensor_lang.Compute.t ->
+  result

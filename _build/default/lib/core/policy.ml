@@ -1,0 +1,93 @@
+(* The Markov transition policy — paper Algorithm 2.
+
+   For the current state, every candidate (action, dimension) pair is scored
+   with its analytical benefit, the cache action's score is modulated by the
+   annealing multiplier, scores are normalised into a probability
+   distribution, and one transition is drawn by roulette selection.
+
+   A small stay probability implements Algorithm 2's fall-through (the loop
+   can return no action, leaving the state unchanged).  Besides matching the
+   pseudo-code, the induced self-loop is what makes the chain aperiodic: all
+   tiling/vthread edges flip a lattice parity, so without self-loops the
+   same-level subgraph would be bipartite. *)
+
+open Sched
+
+type choice = { action : Action.t; next : Etir.t; probability : float }
+
+let stay_probability = 0.02
+
+(* The paper's annealing multiplier on the cache action,
+   3 / (1 + e^{-(ln 5 / 10)(t - midpoint)}): the cache switch becomes up to
+   3x more likely as construction progresses, which forces convergence to
+   the next memory level.  [t] counts the steps spent at the *current* level
+   — the clock restarts when a cache switch fires, so every level gets its
+   own ramp (with a global clock the second switch would fire immediately
+   and skip the shared-memory level entirely).
+   The paper's midpoint of 10 steps is calibrated to its own benefit scale;
+   ours is configurable (default 35) so that large-extent operators get
+   enough growth steps per level before the switch becomes likely. *)
+let cache_multiplier ?(midpoint = 35.0) ~iteration () =
+  let t = float_of_int iteration in
+  3.0 /. (1.0 +. exp (-.(log 5.0 /. 10.0) *. (t -. midpoint)))
+
+type mode = {
+  vthread_enabled : bool;  (* Table VI ablation: allow Set_vthread actions *)
+  tree_mode : bool;
+      (* degenerate to a tree: no inverse tiling, i.e. no backtracking *)
+  cache_midpoint : float;  (* annealing-sigmoid midpoint, steps per level *)
+}
+
+let graph_mode =
+  { vthread_enabled = true; tree_mode = false; cache_midpoint = 35.0 }
+
+let allowed mode (action : Action.t) =
+  match action with
+  | Action.Set_vthread _ -> mode.vthread_enabled
+  | Action.Tile { dir = Action.Shrink; _ }
+  | Action.Rtile { dir = Action.Shrink; _ } ->
+    not mode.tree_mode
+  | Action.Tile { dir = Action.Grow; _ }
+  | Action.Rtile { dir = Action.Grow; _ }
+  | Action.Cache ->
+    true
+
+(* All legal, positively-weighted transitions with normalised
+   probabilities.  The normalisation leaves room for [stay_probability]. *)
+let transitions ~hw ~mode ~iteration etir =
+  let weighted =
+    List.filter_map
+      (fun (action, next) ->
+        if not (allowed mode action) then None
+        else begin
+          let benefit = Benefit.of_action ~hw ~before:etir ~after:next action in
+          let benefit =
+            match action with
+            | Action.Cache ->
+              benefit *. cache_multiplier ~midpoint:mode.cache_midpoint ~iteration ()
+            | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ -> benefit
+          in
+          if benefit <= 0.0 then None else Some (action, next, benefit)
+        end)
+      (Action.successors etir)
+  in
+  let total = List.fold_left (fun acc (_, _, b) -> acc +. b) 0.0 weighted in
+  if total <= 0.0 then []
+  else
+    let scale = (1.0 -. stay_probability) /. total in
+    List.map
+      (fun (action, next, benefit) ->
+        { action; next; probability = benefit *. scale })
+      weighted
+
+(* Roulette selection over the transition distribution; [None] means the
+   chain stays in place this step. *)
+let select rng choices =
+  match choices with
+  | [] -> None
+  | _ ->
+    let weights =
+      Array.of_list (List.map (fun c -> c.probability) choices @ [ stay_probability ])
+    in
+    let idx = Rng.roulette rng weights in
+    if idx = List.length choices then None else Some (List.nth choices idx)

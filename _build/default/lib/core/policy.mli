@@ -1,0 +1,41 @@
+(** The Markov transition policy — paper Algorithm 2.
+
+    Benefits become a normalised transition distribution; a roulette draw
+    picks the scheduling primitive to apply.  A small stay probability
+    implements Algorithm 2's fall-through and makes the chain aperiodic. *)
+
+type choice = {
+  action : Sched.Action.t;
+  next : Sched.Etir.t;
+  probability : float;
+}
+
+val stay_probability : float
+
+(** The paper's annealing multiplier on the cache action's probability,
+    [3 / (1 + e^{-(ln5/10)(t-midpoint)})], where [t] is the number of steps
+    spent at the current memory level. *)
+val cache_multiplier : ?midpoint:float -> iteration:int -> unit -> float
+
+type mode = {
+  vthread_enabled : bool;  (** Table VI ablation switch *)
+  tree_mode : bool;  (** disable inverse tiling: degenerate to a tree *)
+  cache_midpoint : float;  (** annealing-sigmoid midpoint, steps per level *)
+}
+
+(** Full graph construction: vthreads on, backtracking on. *)
+val graph_mode : mode
+
+val allowed : mode -> Sched.Action.t -> bool
+
+(** Legal positively-weighted transitions with normalised probabilities
+    (summing to [1 - stay_probability]); empty when no action is legal. *)
+val transitions :
+  hw:Hardware.Gpu_spec.t ->
+  mode:mode ->
+  iteration:int ->
+  Sched.Etir.t ->
+  choice list
+
+(** Roulette draw; [None] = stay in place. *)
+val select : Sched.Rng.t -> choice list -> choice option

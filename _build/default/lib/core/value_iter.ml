@@ -1,0 +1,109 @@
+(* Markov-chain analysis of the construction graph — the paper's §IV-D.
+
+   Over an explicitly explored (small) region of the graph, build the
+   row-stochastic transition matrix from the normalised benefits (including
+   the stay probability, which provides the self-loops behind aperiodicity),
+   compute the stationary distribution by power iteration, and run the
+   paper's multiplicative Bellman value iteration (Eq. 5-6),
+   V_{k+1}(i) = max_a pi(a|i) . V_k(j). *)
+
+type chain = {
+  graph : Graph.t;
+  matrix : float array array;  (* row-stochastic *)
+}
+
+let build ~hw ?(mode = Policy.graph_mode) ?(iteration = 0) graph =
+  let n = Graph.size graph in
+  let matrix = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    let etir = Graph.state graph i in
+    let choices = Policy.transitions ~hw ~mode ~iteration etir in
+    let assigned = ref 0.0 in
+    List.iter
+      (fun { Policy.next; probability; _ } ->
+        match Graph.index graph next with
+        | Some j ->
+          matrix.(i).(j) <- matrix.(i).(j) +. probability;
+          assigned := !assigned +. probability
+        | None ->
+          (* Edge leaves the explored region: fold it into the self-loop so
+             rows stay stochastic. *)
+          matrix.(i).(i) <- matrix.(i).(i) +. probability;
+          assigned := !assigned +. probability)
+      choices;
+    (* Stay probability plus any unassigned mass. *)
+    matrix.(i).(i) <- matrix.(i).(i) +. (1.0 -. !assigned)
+  done;
+  { graph; matrix }
+
+let row_sums chain = Array.map (Array.fold_left ( +. ) 0.0) chain.matrix
+
+(* Power iteration to the stationary distribution; returns the distribution
+   and the number of iterations to converge below [tol] in L1. *)
+let stationary ?(tol = 1e-10) ?(max_iters = 100_000) chain =
+  let n = Array.length chain.matrix in
+  let dist = Array.make n (1.0 /. float_of_int n) in
+  let next = Array.make n 0.0 in
+  let rec go k =
+    Array.fill next 0 n 0.0;
+    for i = 0 to n - 1 do
+      let p = dist.(i) in
+      if p > 0.0 then
+        for j = 0 to n - 1 do
+          next.(j) <- next.(j) +. (p *. chain.matrix.(i).(j))
+        done
+    done;
+    let delta = ref 0.0 in
+    for j = 0 to n - 1 do
+      delta := !delta +. Float.abs (next.(j) -. dist.(j));
+      dist.(j) <- next.(j)
+    done;
+    if !delta < tol || k >= max_iters then k else go (k + 1)
+  in
+  let iters = go 1 in
+  (dist, iters)
+
+(* The paper's Eq. 6: multiplicative Bellman iteration.  Returns the value
+   function, the greedy policy (argmax successor per state) and the number
+   of iterations until the policy stabilises. *)
+let value_iteration ?(tol = 1e-12) ?(max_iters = 10_000) chain =
+  let n = Array.length chain.matrix in
+  let v = Array.make n 1.0 in
+  let policy = Array.make n (-1) in
+  let rec go k =
+    let v' = Array.make n 0.0 in
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      let best = ref (chain.matrix.(i).(i) *. v.(i)) in
+      let best_j = ref i in
+      for j = 0 to n - 1 do
+        if j <> i && chain.matrix.(i).(j) > 0.0 then begin
+          let candidate = chain.matrix.(i).(j) *. v.(j) in
+          if candidate > !best then begin
+            best := candidate;
+            best_j := j
+          end
+        end
+      done;
+      v'.(i) <- !best;
+      if policy.(i) <> !best_j then begin
+        policy.(i) <- !best_j;
+        changed := true
+      end
+    done;
+    let delta = ref 0.0 in
+    for i = 0 to n - 1 do
+      delta := !delta +. Float.abs (v'.(i) -. v.(i));
+      v.(i) <- v'.(i)
+    done;
+    if ((not !changed) && !delta < tol) || k >= max_iters then k else go (k + 1)
+  in
+  let iters = go 1 in
+  (v, policy, iters)
+
+(* Aperiodicity witness: some state carries a positive self-loop (the stay
+   probability), so gcd of return times is 1. *)
+let has_self_loop chain =
+  let n = Array.length chain.matrix in
+  let rec go i = i < n && (chain.matrix.(i).(i) > 0.0 || go (i + 1)) in
+  go 0

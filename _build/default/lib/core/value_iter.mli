@@ -1,0 +1,29 @@
+(** Markov-chain analysis of the construction graph — paper §IV-D.
+
+    Builds the row-stochastic transition matrix over an explored region,
+    computes the stationary distribution and runs the paper's multiplicative
+    Bellman value iteration (Eq. 5–6). *)
+
+type chain = { graph : Graph.t; matrix : float array array }
+
+val build :
+  hw:Hardware.Gpu_spec.t ->
+  ?mode:Policy.mode ->
+  ?iteration:int ->
+  Graph.t ->
+  chain
+
+(** Should all be 1.0 — the matrix is row-stochastic by construction. *)
+val row_sums : chain -> float array
+
+(** Stationary distribution by power iteration; returns (distribution,
+    iterations to converge). *)
+val stationary : ?tol:float -> ?max_iters:int -> chain -> float array * int
+
+(** Multiplicative Bellman iteration (Eq. 6); returns (values, greedy
+    policy, iterations until the policy stabilises). *)
+val value_iteration :
+  ?tol:float -> ?max_iters:int -> chain -> float array * int array * int
+
+(** Aperiodicity witness: a positive self-loop exists. *)
+val has_self_loop : chain -> bool

@@ -1,0 +1,1 @@
+lib/costmodel/conflict.ml: Hardware Sched

@@ -1,0 +1,1 @@
+lib/costmodel/conflict.mli: Hardware Sched

@@ -1,0 +1,1 @@
+lib/costmodel/footprint.ml: Access Array Compute Dtype Expr Fmt List Sched Tensor_lang

@@ -1,0 +1,1 @@
+lib/costmodel/footprint.mli: Sched

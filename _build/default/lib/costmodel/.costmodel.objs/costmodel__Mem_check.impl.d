@@ -1,0 +1,1 @@
+lib/costmodel/mem_check.ml: Fmt Footprint Hardware List Sched

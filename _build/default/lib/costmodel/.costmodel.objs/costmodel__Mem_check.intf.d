@@ -1,0 +1,1 @@
+lib/costmodel/mem_check.mli: Fmt Hardware Sched

@@ -1,0 +1,1 @@
+lib/costmodel/metrics.mli: Fmt

@@ -1,0 +1,1 @@
+lib/costmodel/model.ml: Array Compute Conflict Expr Float Footprint Hardware List Metrics Occupancy Sched Tensor_lang Traffic

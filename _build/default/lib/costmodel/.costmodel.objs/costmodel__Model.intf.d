@@ -1,0 +1,1 @@
+lib/costmodel/model.mli: Hardware Metrics Sched

@@ -1,0 +1,1 @@
+lib/costmodel/occupancy.ml: Float Footprint Hardware Sched

@@ -1,0 +1,1 @@
+lib/costmodel/occupancy.mli: Hardware Sched

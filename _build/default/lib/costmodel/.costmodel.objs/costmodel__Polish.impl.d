@@ -1,0 +1,1 @@
+lib/costmodel/polish.ml: List Mem_check Metrics Model Sched

@@ -1,0 +1,1 @@
+lib/costmodel/polish.mli: Hardware Metrics Model Sched

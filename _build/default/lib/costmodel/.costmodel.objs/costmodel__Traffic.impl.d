@@ -1,0 +1,1 @@
+lib/costmodel/traffic.ml: Array Compute Float Footprint Sched Tensor_lang

@@ -1,0 +1,1 @@
+lib/costmodel/traffic.mli: Sched

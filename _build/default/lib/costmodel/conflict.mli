@@ -1,0 +1,14 @@
+(** Shared-memory bank-conflict model behind the paper's Eq. 3.
+
+    Virtual threads interleave logical threads' work at unit stride, reducing
+    the effective access stride and hence the serialisation factor. *)
+
+(** Stride (in bank words) between consecutive physical threads' accesses. *)
+val access_stride_words : Sched.Etir.t -> bank_width_bytes:int -> int
+
+(** Raw warp serialisation degree, >= 1.0 (1.0 = conflict-free). *)
+val raw_degree : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> float
+
+(** Effective shared-memory slowdown: the raw degree diluted by the fraction
+    of transactions that actually follow the conflicted pattern. *)
+val factor : ?dilution:float -> Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> float

@@ -1,0 +1,73 @@
+(* Capacity legality of an ETIR state — the paper's "memory check for each
+   transition: if memory required for the configuration exceeds the cache
+   capacity, the probability is directly set to 0" (§IV-C). *)
+
+type violation = {
+  level : int;
+  required_bytes : int;
+  capacity_bytes : int;
+  what : string;
+}
+
+let check etir ~(hw : Hardware.Gpu_spec.t) =
+  if Sched.Etir.num_levels etir <> Hardware.Gpu_spec.schedulable_cache_levels hw
+  then
+    invalid_arg
+      "Mem_check.check: ETIR level count does not match the device hierarchy";
+  let violations = ref [] in
+  let add level required capacity what =
+    if required > capacity then
+      violations :=
+        { level; required_bytes = required; capacity_bytes = capacity; what }
+        :: !violations
+  in
+  (* Registers: the per-thread tile must fit one thread's register slice. *)
+  let reg = Hardware.Gpu_spec.registers_level hw in
+  add 0
+    (Footprint.bytes_at etir ~level:0)
+    (Hardware.Mem_level.capacity_bytes reg)
+    "per-thread registers";
+  (* Shared memory: one block's staged tiles must fit an SM. *)
+  let smem = Hardware.Gpu_spec.level hw 1 in
+  add 1
+    (Footprint.bytes_at etir ~level:1)
+    (Hardware.Mem_level.capacity_bytes smem)
+    "shared memory per block";
+  (* Outer caches: the wave tile's working set must fit the cache. *)
+  for level = 2 to Sched.Etir.num_levels etir do
+    let cache = Hardware.Gpu_spec.level hw level in
+    add level
+      (Footprint.bytes_at etir ~level)
+      (Hardware.Mem_level.capacity_bytes cache)
+      (Hardware.Mem_level.name cache)
+  done;
+  (* Launch limits (level -1): legality of the final kernel, but transient
+     violations are expected mid-construction while block and thread tiles
+     grow at different times. *)
+  let tpb = Sched.Etir.threads_per_block etir in
+  if tpb > Hardware.Gpu_spec.max_threads_per_block hw then
+    violations :=
+      { level = -1; required_bytes = tpb;
+        capacity_bytes = Hardware.Gpu_spec.max_threads_per_block hw;
+        what = "threads per block" }
+      :: !violations;
+  let block_reg_bytes = Footprint.bytes_at etir ~level:0 * tpb in
+  let reg_file_bytes = Hardware.Gpu_spec.registers_per_sm hw * 4 in
+  if block_reg_bytes > reg_file_bytes then
+    violations :=
+      { level = -1; required_bytes = block_reg_bytes;
+        capacity_bytes = reg_file_bytes; what = "register file per block" }
+      :: !violations;
+  List.rev !violations
+
+let ok etir ~hw = check etir ~hw = []
+
+(* Cache-capacity legality only, ignoring launch limits.  Construction passes
+   through launch-infeasible states (a block tile grows before its thread
+   tile exists, transiently exceeding the thread-per-block cap); those states
+   are filtered at final selection, not during traversal. *)
+let ok_capacity etir ~hw =
+  List.for_all (fun v -> v.level < 0) (check etir ~hw)
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s: %d > %d" v.what v.required_bytes v.capacity_bytes

@@ -1,0 +1,22 @@
+(** Capacity legality of an ETIR state (paper §IV-C memory check).
+
+    Raises [Invalid_argument] when the ETIR's level count does not match the
+    device's schedulable cache levels. *)
+
+type violation = {
+  level : int;  (** ETIR level, or -1 for launch-limit violations *)
+  required_bytes : int;
+  capacity_bytes : int;
+  what : string;
+}
+
+(** All capacity violations of the state; empty = legal. *)
+val check : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> violation list
+
+val ok : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> bool
+
+(** Cache-capacity legality only (launch limits ignored): the check applied
+    to intermediate construction states, which may transiently exceed the
+    threads-per-block cap while upper-level tiles grow. *)
+val ok_capacity : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> bool
+val pp_violation : violation Fmt.t

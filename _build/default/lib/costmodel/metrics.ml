@@ -1,0 +1,35 @@
+(* The performance record every method in this repository reports — the
+   columns of the paper's Tables V and VI plus supporting detail. *)
+
+type t = {
+  exec_time_s : float;
+  achieved_flops : float;       (* FLOP/s *)
+  compute_throughput : float;   (* fraction of device peak, [0,1] *)
+  sm_occupancy : float;         (* [0,1] *)
+  mem_busy : float;             (* busiest memory level's duty cycle, [0,1] *)
+  l2_hit_rate : float;          (* [0,1] *)
+  dram_bytes : float;
+  l2_bytes : float;
+  smem_bytes : float;
+  bank_conflict_factor : float; (* >= 1 *)
+  threads_per_block : int;
+  grid_blocks : int;
+  footprints : int array;       (* bytes per ETIR level *)
+}
+
+let exec_time_ms t = t.exec_time_s *. 1e3
+let tflops t = t.achieved_flops /. 1e12
+
+(* Larger is better; the score every optimiser maximises. *)
+let score t = t.achieved_flops
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>time %.4f ms | %.2f TFLOPS (%.1f%% peak)@,\
+     SM occ %.1f%% | mem busy %.1f%% | L2 hit %.1f%% | conflicts x%.1f@,\
+     dram %.2e B | l2 %.2e B | smem %.2e B | %d thr/blk x %d blocks@]"
+    (exec_time_ms t) (tflops t)
+    (100. *. t.compute_throughput)
+    (100. *. t.sm_occupancy) (100. *. t.mem_busy) (100. *. t.l2_hit_rate)
+    t.bank_conflict_factor t.dram_bytes t.l2_bytes t.smem_bytes
+    t.threads_per_block t.grid_blocks

@@ -1,0 +1,26 @@
+(** Performance record reported by the simulator: the columns of the paper's
+    Tables V and VI plus supporting detail. *)
+
+type t = {
+  exec_time_s : float;
+  achieved_flops : float;
+  compute_throughput : float;
+  sm_occupancy : float;
+  mem_busy : float;
+  l2_hit_rate : float;
+  dram_bytes : float;
+  l2_bytes : float;
+  smem_bytes : float;
+  bank_conflict_factor : float;
+  threads_per_block : int;
+  grid_blocks : int;
+  footprints : int array;
+}
+
+val exec_time_ms : t -> float
+val tflops : t -> float
+
+(** The figure of merit optimisers maximise (achieved FLOP/s). *)
+val score : t -> float
+
+val pp : t Fmt.t

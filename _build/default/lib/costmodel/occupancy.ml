@@ -1,0 +1,59 @@
+(* SM occupancy and wave (tail) efficiency.
+
+   Resident blocks per SM are limited by shared-memory usage, thread slots,
+   register usage and a hard scheduler cap; occupancy is the resident-thread
+   fraction.  The tail term models the last partially-filled wave of blocks —
+   the load-balancing objective a single-objective constructor ignores. *)
+
+type t = {
+  blocks_per_sm : int;       (* resident blocks one SM can hold; 0 = does not fit *)
+  sm_occupancy : float;      (* resident threads / max threads, in [0,1] *)
+  tail_efficiency : float;   (* useful fraction of the last wave, in (0,1] *)
+  waves : int;               (* number of block waves over the whole GPU *)
+  global_threads : int;      (* concurrently resident threads, device-wide *)
+}
+
+let hard_block_cap = 16
+
+let of_etir etir ~(hw : Hardware.Gpu_spec.t) =
+  let tpb = Sched.Etir.threads_per_block etir in
+  let grid = Sched.Etir.grid_blocks etir in
+  let smem = Hardware.Gpu_spec.level hw 1 in
+  let smem_bytes = Footprint.bytes_at etir ~level:1 in
+  let reg_bytes_per_thread = Footprint.bytes_at etir ~level:0 in
+  let by_smem =
+    if smem_bytes = 0 then hard_block_cap
+    else Hardware.Mem_level.capacity_bytes smem / smem_bytes
+  in
+  let by_threads = Hardware.Gpu_spec.max_threads_per_sm hw / max 1 tpb in
+  let by_regs =
+    let reg_file_bytes = Hardware.Gpu_spec.registers_per_sm hw * 4 in
+    reg_file_bytes / max 1 (reg_bytes_per_thread * tpb)
+  in
+  let fits_block = tpb <= Hardware.Gpu_spec.max_threads_per_block hw in
+  let resident =
+    if not fits_block then 0
+    else min (min by_smem by_threads) (min by_regs hard_block_cap)
+  in
+  if resident <= 0 then
+    { blocks_per_sm = 0; sm_occupancy = 0.0; tail_efficiency = 1.0; waves = 0;
+      global_threads = 0 }
+  else begin
+    let sm_count = Hardware.Gpu_spec.sm_count hw in
+    (* A small grid cannot fill every SM's resident slots. *)
+    let per_sm_available = (grid + sm_count - 1) / sm_count in
+    let resident_actual = min resident per_sm_available in
+    let occ =
+      Float.min 1.0
+        (float_of_int (resident_actual * tpb)
+        /. float_of_int (Hardware.Gpu_spec.max_threads_per_sm hw))
+    in
+    let wave_capacity = resident * sm_count in
+    let waves = (grid + wave_capacity - 1) / wave_capacity in
+    let tail =
+      float_of_int grid /. float_of_int (waves * wave_capacity)
+    in
+    let global_threads = min grid (resident * sm_count) * tpb in
+    { blocks_per_sm = resident; sm_occupancy = occ;
+      tail_efficiency = Float.max tail 1e-6; waves; global_threads }
+  end

@@ -1,0 +1,14 @@
+(** SM occupancy and wave-tail efficiency of an ETIR configuration. *)
+
+type t = {
+  blocks_per_sm : int;
+      (** resident blocks one SM holds; 0 when the block does not fit at all *)
+  sm_occupancy : float;  (** resident-thread fraction, in [0,1] *)
+  tail_efficiency : float;
+      (** useful fraction of the final block wave, in (0,1] *)
+  waves : int;  (** block waves across the device *)
+  global_threads : int;  (** concurrently resident threads, device-wide *)
+}
+
+val hard_block_cap : int
+val of_etir : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> t

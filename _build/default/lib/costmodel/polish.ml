@@ -1,0 +1,36 @@
+(* Greedy model-guided local search over the scheduling action edges.
+
+   Shared by consumers that refine an already-chosen configuration: Gensor's
+   final selection and the vendor oracle's per-shape kernel tuning.  Follows
+   the steepest strictly-improving edge until a local optimum or the budget
+   runs out. *)
+
+let greedy ?(knobs = Model.default_knobs) ?(budget = 32) ~hw etir =
+  let evaluated = ref 0 in
+  let rec step etir metrics budget =
+    if budget = 0 then (etir, metrics)
+    else begin
+      let improved =
+        List.fold_left
+          (fun acc (_, next) ->
+            if not (Mem_check.ok next ~hw) then acc
+            else begin
+              incr evaluated;
+              let m = Model.evaluate ~knobs ~hw next in
+              match acc with
+              | Some (_, best) when Metrics.score best >= Metrics.score m -> acc
+              | Some _ | None ->
+                if Metrics.score m > Metrics.score metrics then Some (next, m)
+                else acc
+            end)
+          None
+          (Sched.Action.successors etir)
+      in
+      match improved with
+      | Some (next, m) -> step next m (budget - 1)
+      | None -> (etir, metrics)
+    end
+  in
+  let metrics = Model.evaluate ~knobs ~hw etir in
+  let etir, metrics = step etir metrics budget in
+  (etir, metrics, !evaluated)

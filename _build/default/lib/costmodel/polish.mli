@@ -1,0 +1,12 @@
+(** Greedy model-guided local search over scheduling action edges.
+
+    [greedy ~hw etir] follows the steepest strictly-improving legal edge up
+    to [budget] steps; returns the refined state, its metrics and the number
+    of model evaluations performed. *)
+
+val greedy :
+  ?knobs:Model.knobs ->
+  ?budget:int ->
+  hw:Hardware.Gpu_spec.t ->
+  Sched.Etir.t ->
+  Sched.Etir.t * Metrics.t * int

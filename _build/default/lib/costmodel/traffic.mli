@@ -1,0 +1,17 @@
+(** Per-level memory traffic — the paper's [Q(T)]. *)
+
+(** Bytes the kernel writes for the output tensor. *)
+val output_total_bytes : Sched.Etir.t -> int
+
+(** [bytes_into etir ~level] is the total bytes loaded into ETIR level
+    [level] (0 = registers, 1 = shared memory, ...) from the next slower
+    level, plus the written-through output. *)
+val bytes_into : Sched.Etir.t -> level:int -> float
+
+(** Cold-miss floor: all inputs read once plus the output written once. *)
+val compulsory_bytes : Sched.Etir.t -> float
+
+(** DRAM traffic: outermost-level traffic, floored at compulsory bytes. *)
+val dram_bytes : Sched.Etir.t -> float
+
+val all_levels : Sched.Etir.t -> float array

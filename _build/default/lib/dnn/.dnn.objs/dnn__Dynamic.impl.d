@@ -1,0 +1,1 @@
+lib/dnn/dynamic.ml: Costmodel Fmt Hashtbl List Mobilenet Model Ops Option Pipeline Runner Transformer Vendor

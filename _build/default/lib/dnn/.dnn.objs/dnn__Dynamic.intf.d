@@ -1,0 +1,1 @@
+lib/dnn/dynamic.mli: Hardware Pipeline

@@ -1,0 +1,1 @@
+lib/dnn/kernel_cache.ml: Axis Compute Costmodel Float Fmt Gensor Hardware Hashtbl List Sched String Tensor_lang

@@ -1,0 +1,1 @@
+lib/dnn/kernel_cache.mli: Costmodel Gensor Hardware Sched Tensor_lang

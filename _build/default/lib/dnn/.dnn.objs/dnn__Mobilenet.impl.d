@@ -1,0 +1,1 @@
+lib/dnn/mobilenet.ml: Float Fmt Model Ops

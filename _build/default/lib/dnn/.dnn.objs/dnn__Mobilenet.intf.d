@@ -1,0 +1,1 @@
+lib/dnn/mobilenet.mli: Model

@@ -1,0 +1,1 @@
+lib/dnn/model.ml: Fmt Hashtbl List Ops Tensor_lang

@@ -1,0 +1,1 @@
+lib/dnn/model.mli: Fmt Ops

@@ -1,0 +1,1 @@
+lib/dnn/resnet.ml: Fmt List Model Ops

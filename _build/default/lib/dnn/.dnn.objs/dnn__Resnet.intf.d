@@ -1,0 +1,1 @@
+lib/dnn/resnet.mli: Model

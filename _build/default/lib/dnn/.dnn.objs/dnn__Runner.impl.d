@@ -1,0 +1,1 @@
+lib/dnn/runner.ml: Costmodel Fmt Hashtbl List Model Pipeline Vendor

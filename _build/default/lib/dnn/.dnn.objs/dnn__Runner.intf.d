@@ -1,0 +1,1 @@
+lib/dnn/runner.mli: Fmt Hardware Model Pipeline

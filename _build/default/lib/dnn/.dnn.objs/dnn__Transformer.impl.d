@@ -1,0 +1,1 @@
+lib/dnn/transformer.ml: Model Ops

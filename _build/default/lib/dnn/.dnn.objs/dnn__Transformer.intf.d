@@ -1,0 +1,1 @@
+lib/dnn/transformer.mli: Model

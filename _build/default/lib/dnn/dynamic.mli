@@ -1,0 +1,54 @@
+(** Dynamic-shape scenarios (paper Figs. 11–12). *)
+
+type shape_report = {
+  shape_label : string;
+  method_name : string;
+  exec_time_s : float;
+  throughput : float;
+  opt_sim_s : float;
+}
+
+(** BERT-small compiled per sequence length with one method. *)
+val bert_per_shape :
+  hw:Hardware.Gpu_spec.t ->
+  Pipeline.Methods.t ->
+  batch:int ->
+  seqs:int list ->
+  shape_report list
+
+val bert_pytorch :
+  hw:Hardware.Gpu_spec.t -> batch:int -> seqs:int list -> shape_report list
+
+(** DietCode: bucket kernels tuned once per layer role across the sequence
+    lengths, then dispatched per shape. *)
+val bert_dietcode :
+  ?buckets:int ->
+  ?trials_per_bucket:int ->
+  hw:Hardware.Gpu_spec.t ->
+  batch:int ->
+  seqs:int list ->
+  unit ->
+  shape_report list
+
+type phase = { width_mult : float; images : int }
+type segment = { phase_label : string; opt_s : float; infer_s : float }
+
+type timeline = {
+  timeline_method : string;
+  segments : segment list;
+  total_s : float;
+}
+
+(** Four phases of 2000 images with channel multipliers 1.0/0.75/1.25/0.9. *)
+val default_phases : phase list
+
+val mobilenet_timeline :
+  hw:Hardware.Gpu_spec.t ->
+  Pipeline.Methods.t ->
+  ?batch:int ->
+  ?phases:phase list ->
+  unit ->
+  timeline
+
+val mobilenet_timeline_pytorch :
+  hw:Hardware.Gpu_spec.t -> ?batch:int -> ?phases:phase list -> unit -> timeline

@@ -1,0 +1,121 @@
+(* Dynamic optimizing system — the paper's ongoing-work direction made
+   concrete: a kernel cache that serves dynamic-shape inference.
+
+   On a lookup the cache
+   - returns the exact kernel when the shape was seen before (hit);
+   - otherwise warm-starts Gensor from the structurally nearest cached
+     schedule (warm miss: a quarter-budget refinement), falling back to a
+     full cold construction when no compatible schedule exists (cold miss).
+
+   This turns per-shape optimisation cost from "seconds per new shape" into
+   "seconds once per operator family", which is what real-time
+   re-optimisation of dynamic networks needs. *)
+
+open Tensor_lang
+
+type entry = {
+  compute : Compute.t;
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+}
+
+type lookup = Hit | Warm_miss | Cold_miss
+
+type stats = {
+  mutable hits : int;
+  mutable warm_misses : int;
+  mutable cold_misses : int;
+  mutable construction_steps : int;
+}
+
+type t = {
+  hw : Hardware.Gpu_spec.t;
+  config : Gensor.Optimizer.config;
+  entries : (string, entry) Hashtbl.t;         (* exact shape key *)
+  families : (string, entry list ref) Hashtbl.t;  (* structural key *)
+  stats : stats;
+}
+
+let create ?(config = Gensor.Optimizer.default_config) ~hw () =
+  { hw; config; entries = Hashtbl.create 64; families = Hashtbl.create 16;
+    stats = { hits = 0; warm_misses = 0; cold_misses = 0; construction_steps = 0 } }
+
+(* Exact key: name plus every axis extent. *)
+let shape_key compute =
+  Fmt.str "%s|%s" (Compute.name compute)
+    (String.concat "x"
+       (List.map
+          (fun ax -> string_of_int (Axis.extent ax))
+          (Compute.axes compute)))
+
+(* Family key: name plus the axis *structure* (names and kinds), ignoring
+   extents — schedules retarget within a family. *)
+let family_key compute =
+  Fmt.str "%s|%s" (Compute.name compute)
+    (String.concat ","
+       (List.map
+          (fun ax ->
+            Fmt.str "%s%s" (Axis.name ax)
+              (if Axis.is_reduce ax then "~" else ""))
+          (Compute.axes compute)))
+
+(* Nearest family member by log-space distance over the axis extents. *)
+let nearest_in_family family compute =
+  let extents c = List.map Axis.extent (Compute.axes c) in
+  let target = extents compute in
+  let distance candidate =
+    List.fold_left2
+      (fun acc a b ->
+        acc
+        +. Float.abs (Float.log2 (float_of_int a) -. Float.log2 (float_of_int b)))
+      0.0 target
+      (extents candidate.compute)
+  in
+  match family with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best candidate ->
+           if distance candidate < distance best then candidate else best)
+         first rest)
+
+let compile t compute =
+  let key = shape_key compute in
+  match Hashtbl.find_opt t.entries key with
+  | Some entry ->
+    t.stats.hits <- t.stats.hits + 1;
+    (entry, Hit)
+  | None ->
+    let fkey = family_key compute in
+    let family =
+      match Hashtbl.find_opt t.families fkey with
+      | Some family -> family
+      | None ->
+        let family = ref [] in
+        Hashtbl.add t.families fkey family;
+        family
+    in
+    let warm = nearest_in_family !family compute in
+    let result =
+      match warm with
+      | Some seed ->
+        Gensor.Optimizer.optimize ~config:t.config ~warm_start:seed.etir
+          ~hw:t.hw compute
+      | None -> Gensor.Optimizer.optimize ~config:t.config ~hw:t.hw compute
+    in
+    (match warm with
+    | Some _ -> t.stats.warm_misses <- t.stats.warm_misses + 1
+    | None -> t.stats.cold_misses <- t.stats.cold_misses + 1);
+    t.stats.construction_steps <-
+      t.stats.construction_steps + result.Gensor.Optimizer.states_explored;
+    let entry =
+      { compute; etir = result.Gensor.Optimizer.etir;
+        metrics = result.Gensor.Optimizer.metrics }
+    in
+    Hashtbl.add t.entries key entry;
+    family := entry :: !family;
+    (entry, if warm = None then Cold_miss else Warm_miss)
+
+let stats t = t.stats
+let size t = Hashtbl.length t.entries

@@ -1,0 +1,40 @@
+(** Dynamic optimizing system: a kernel cache for dynamic-shape inference.
+
+    Exact shapes hit the cache; new shapes of a known operator family
+    warm-start Gensor from the structurally nearest cached schedule (a
+    quarter-budget refinement); unknown families pay one full cold
+    construction.  This is the paper's ongoing-work direction
+    ("a dynamic optimizing system based on Gensor"). *)
+
+type entry = {
+  compute : Tensor_lang.Compute.t;
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+}
+
+type lookup = Hit | Warm_miss | Cold_miss
+
+type stats = {
+  mutable hits : int;
+  mutable warm_misses : int;
+  mutable cold_misses : int;
+  mutable construction_steps : int;
+}
+
+type t
+
+val create :
+  ?config:Gensor.Optimizer.config -> hw:Hardware.Gpu_spec.t -> unit -> t
+
+(** Exact shape key (operator name + axis extents). *)
+val shape_key : Tensor_lang.Compute.t -> string
+
+(** Family key (operator name + axis structure, extents ignored). *)
+val family_key : Tensor_lang.Compute.t -> string
+
+(** [compile t compute] returns the kernel for this shape, compiling and
+    caching on a miss. *)
+val compile : t -> Tensor_lang.Compute.t -> entry * lookup
+
+val stats : t -> stats
+val size : t -> int

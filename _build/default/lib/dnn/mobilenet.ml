@@ -1,0 +1,80 @@
+(* MobileNetV2 layer table (Sandler et al., CVPR'18), 224x224 inputs.
+
+   [width_mult] scales every channel count (rounded to a multiple of 8,
+   minimum 8) — the knob the dynamic-adjustment experiment (paper Fig. 12)
+   turns between inference phases. *)
+
+let scale_channels ~width_mult c =
+  let scaled = int_of_float (Float.round (float_of_int c *. width_mult)) in
+  max 8 (scaled / 8 * 8)
+
+let inverted_residual ~batch ~block ~in_c ~out_c ~expand ~size ~stride =
+  let tag fmt = Fmt.str fmt block in
+  let mid = in_c * expand in
+  let out_size = size / stride in
+  let expand_layer =
+    if expand = 1 then []
+    else
+      [ Model.layer (tag "b%d.expand")
+          (Ops.Conv.conv2d ~batch ~in_channels:in_c ~out_channels:mid
+             ~height:size ~width:size ~kernel:1 ~stride:1 ()) ]
+  in
+  let body =
+    [ Model.layer (tag "b%d.dwconv")
+        (Ops.Conv.depthwise_conv2d ~batch ~channels:mid ~height:size
+           ~width:size ~kernel:3 ~stride ~pad:1 ());
+      Model.layer (tag "b%d.project")
+        (Ops.Conv.conv2d ~batch ~in_channels:mid ~out_channels:out_c
+           ~height:out_size ~width:out_size ~kernel:1 ~stride:1 ());
+      Model.layer (tag "b%d.relu6")
+        (Ops.Elementwise.relu ~shape:[ batch; out_c; out_size; out_size ] ()) ]
+  in
+  (expand_layer @ body, out_size)
+
+(* (expand factor, output channels, repeats, first stride) per group. *)
+let groups =
+  [ (1, 16, 1, 1); (6, 24, 2, 2); (6, 32, 3, 2); (6, 64, 4, 2); (6, 96, 3, 1);
+    (6, 160, 3, 2); (6, 320, 1, 1) ]
+
+let mobilenet_v2 ?(batch = 8) ?(width_mult = 1.0) () =
+  let ch c = scale_channels ~width_mult c in
+  let stem_c = ch 32 in
+  let stem =
+    Model.layer "stem"
+      (Ops.Conv.conv2d ~batch ~in_channels:3 ~out_channels:stem_c ~height:224
+         ~width:224 ~kernel:3 ~stride:2 ~pad:1 ())
+  in
+  let rec build_group layers in_c size block = function
+    | [] -> (layers, in_c, size)
+    | (expand, out_c, repeats, first_stride) :: rest ->
+      let out_c = ch out_c in
+      let rec repeat layers in_c size block i =
+        if i = repeats then (layers, in_c, size, block)
+        else begin
+          let stride = if i = 0 then first_stride else 1 in
+          let ls, out_size =
+            inverted_residual ~batch ~block ~in_c ~out_c ~expand ~size ~stride
+          in
+          repeat (layers @ ls) out_c out_size (block + 1) (i + 1)
+        end
+      in
+      let layers, in_c, size, block = repeat layers in_c size block 0 in
+      build_group layers in_c size block rest
+  in
+  let layers, last_c, last_size = build_group [ stem ] stem_c 112 1 groups in
+  let head_c = ch 1280 in
+  let head =
+    [ Model.layer "head.conv"
+        (Ops.Conv.conv2d ~batch ~in_channels:last_c ~out_channels:head_c
+           ~height:last_size ~width:last_size ~kernel:1 ~stride:1 ());
+      Model.layer "head.avgpool"
+        (Ops.Pool.avgpool2d ~batch ~channels:head_c ~height:last_size
+           ~width:last_size ~window:last_size ~stride:last_size ());
+      Model.layer "head.fc"
+        (Ops.Matmul.gemm ~name:"fc" ~m:batch ~k:head_c ~n:1000 ()) ]
+  in
+  let name =
+    if width_mult = 1.0 then "MobileNetV2"
+    else Fmt.str "MobileNetV2 x%.2f" width_mult
+  in
+  Model.v ~name ~batch (layers @ head)

@@ -1,0 +1,5 @@
+(** MobileNetV2 layer table.  [width_mult] scales channel counts — the knob
+    the dynamic-adjustment experiment (paper Fig. 12) turns. *)
+
+val scale_channels : width_mult:float -> int -> int
+val mobilenet_v2 : ?batch:int -> ?width_mult:float -> unit -> Model.t

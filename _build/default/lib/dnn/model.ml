@@ -1,0 +1,57 @@
+(* DNN models as flat operator tables.
+
+   End-to-end evaluation (paper §V-C) compiles each distinct operator once
+   and charges its execution time per occurrence, exactly how the paper's
+   harness aggregates per-op kernels into model inference time.  A layer is
+   therefore an operator plus its occurrence count. *)
+
+type layer = { layer_name : string; op : Ops.Op.t; count : int }
+
+type t = {
+  name : string;
+  batch : int;
+  layers : layer list;
+}
+
+let layer ?(count = 1) layer_name op = { layer_name; op; count }
+
+let v ~name ~batch layers =
+  if layers = [] then invalid_arg "Model.v: no layers";
+  if batch <= 0 then invalid_arg "Model.v: batch <= 0";
+  { name; batch; layers }
+
+let name t = t.name
+let batch t = t.batch
+let layers t = t.layers
+
+let total_op_instances t =
+  List.fold_left (fun acc l -> acc + l.count) 0 t.layers
+
+let total_flops t =
+  List.fold_left
+    (fun acc l -> acc +. (float_of_int l.count *. float_of_int (Ops.Op.flops l.op)))
+    0.0 t.layers
+
+(* Distinct operators by compute signature: kernels are compiled once and
+   reused across occurrences. *)
+let distinct_key op =
+  let compute = Ops.Op.compute op in
+  Fmt.str "%s|%a" (Ops.Op.kind_to_string (Ops.Op.kind op)) Tensor_lang.Compute.pp compute
+
+let distinct_ops t =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun l ->
+      let key = distinct_key l.op in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    t.layers
+  |> List.map (fun l -> l.op)
+
+let pp ppf t =
+  Fmt.pf ppf "%s (batch %d): %d layer entries, %d op instances, %.2f GFLOPs"
+    t.name t.batch (List.length t.layers) (total_op_instances t)
+    (total_flops t /. 1e9)

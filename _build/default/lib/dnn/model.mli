@@ -1,0 +1,23 @@
+(** DNN models as flat operator tables: each layer is an operator plus its
+    occurrence count; kernels are compiled per distinct operator. *)
+
+type layer = { layer_name : string; op : Ops.Op.t; count : int }
+type t
+
+val layer : ?count:int -> string -> Ops.Op.t -> layer
+
+(** Raises [Invalid_argument] on an empty layer list or non-positive
+    batch. *)
+val v : name:string -> batch:int -> layer list -> t
+
+val name : t -> string
+val batch : t -> int
+val layers : t -> layer list
+val total_op_instances : t -> int
+val total_flops : t -> float
+
+(** Distinct operators by compute signature (compile-once set). *)
+val distinct_ops : t -> Ops.Op.t list
+
+val distinct_key : Ops.Op.t -> string
+val pp : t Fmt.t

@@ -1,0 +1,175 @@
+(* ResNet layer tables (He et al., CVPR'16), 224x224 inputs.
+
+   The max-pool after the stem uses a 2x2/2 window (our pool operators are
+   unpadded), which preserves the 112 -> 56 feature-map reduction of the
+   original 3x3/2 padded pool. *)
+
+let conv name ?(count = 1) ~batch ~ci ~co ~size ~k ~s ~p () =
+  Model.layer ~count name
+    (Ops.Conv.conv2d ~batch ~in_channels:ci ~out_channels:co ~height:size
+       ~width:size ~kernel:k ~stride:s ~pad:p ())
+
+let eltwise name ?(count = 1) ~shape () =
+  Model.layer ~count name (Ops.Elementwise.relu ~shape ())
+
+(* One bottleneck stage: the first block downsamples and widens; the
+   remaining [blocks - 1] share identical shapes and are counted once. *)
+let bottleneck_stage ~batch ~stage ~in_c ~mid ~out_c ~in_size ~stride ~blocks =
+  let out_size = in_size / stride in
+  let tag fmt = Fmt.str fmt stage in
+  let first =
+    [ conv (tag "s%d.b1.reduce") ~batch ~ci:in_c ~co:mid ~size:in_size ~k:1
+        ~s:1 ~p:0 ();
+      conv (tag "s%d.b1.conv3x3") ~batch ~ci:mid ~co:mid ~size:in_size ~k:3
+        ~s:stride ~p:1 ();
+      conv (tag "s%d.b1.expand") ~batch ~ci:mid ~co:out_c ~size:out_size ~k:1
+        ~s:1 ~p:0 ();
+      conv (tag "s%d.b1.downsample") ~batch ~ci:in_c ~co:out_c ~size:in_size
+        ~k:1 ~s:stride ~p:0 () ]
+  in
+  let rest =
+    if blocks <= 1 then []
+    else
+      [ conv (tag "s%d.bn.reduce") ~count:(blocks - 1) ~batch ~ci:out_c ~co:mid
+          ~size:out_size ~k:1 ~s:1 ~p:0 ();
+        conv (tag "s%d.bn.conv3x3") ~count:(blocks - 1) ~batch ~ci:mid ~co:mid
+          ~size:out_size ~k:3 ~s:1 ~p:1 ();
+        conv (tag "s%d.bn.expand") ~count:(blocks - 1) ~batch ~ci:mid ~co:out_c
+          ~size:out_size ~k:1 ~s:1 ~p:0 () ]
+  in
+  let act =
+    [ eltwise (tag "s%d.relu") ~count:blocks
+        ~shape:[ batch; out_c; out_size; out_size ] () ]
+  in
+  (first @ rest @ act, out_c, out_size)
+
+let resnet50 ?(batch = 8) () =
+  let stem =
+    [ conv "conv1" ~batch ~ci:3 ~co:64 ~size:224 ~k:7 ~s:2 ~p:3 ();
+      Model.layer "maxpool"
+        (Ops.Pool.maxpool2d ~batch ~channels:64 ~height:112 ~width:112
+           ~window:2 ~stride:2 ()) ]
+  in
+  let stages =
+    [ (64, 64, 256, 1, 3); (256, 128, 512, 2, 4); (512, 256, 1024, 2, 6);
+      (1024, 512, 2048, 2, 3) ]
+  in
+  let layers, _, _ =
+    List.fold_left
+      (fun (acc, (in_c, size), stage) (cin, mid, out_c, stride, blocks) ->
+        assert (cin = in_c);
+        let ls, out_c, out_size =
+          bottleneck_stage ~batch ~stage ~in_c ~mid ~out_c ~in_size:size
+            ~stride ~blocks
+        in
+        (acc @ ls, (out_c, out_size), stage + 1))
+      (stem, (64, 56), 2) stages
+    |> fun (ls, (c, s), _) -> (ls, c, s)
+  in
+  let head =
+    [ Model.layer "avgpool"
+        (Ops.Pool.avgpool2d ~batch ~channels:2048 ~height:7 ~width:7 ~window:7
+           ~stride:7 ());
+      Model.layer "fc" (Ops.Matmul.gemm ~name:"fc" ~m:batch ~k:2048 ~n:1000 ()) ]
+  in
+  Model.v ~name:"ResNet-50" ~batch (layers @ head)
+
+(* Basic-block variant for ResNet-34 (Fig. 10 uses it). *)
+let basic_stage ~batch ~stage ~in_c ~out_c ~in_size ~stride ~blocks =
+  let out_size = in_size / stride in
+  let tag fmt = Fmt.str fmt stage in
+  let first =
+    [ conv (tag "s%d.b1.conv_a") ~batch ~ci:in_c ~co:out_c ~size:in_size ~k:3
+        ~s:stride ~p:1 ();
+      conv (tag "s%d.b1.conv_b") ~batch ~ci:out_c ~co:out_c ~size:out_size ~k:3
+        ~s:1 ~p:1 () ]
+  in
+  let first =
+    if stride = 1 && in_c = out_c then first
+    else
+      first
+      @ [ conv (tag "s%d.b1.downsample") ~batch ~ci:in_c ~co:out_c
+            ~size:in_size ~k:1 ~s:stride ~p:0 () ]
+  in
+  let rest =
+    if blocks <= 1 then []
+    else
+      [ conv (tag "s%d.bn.conv") ~count:(2 * (blocks - 1)) ~batch ~ci:out_c
+          ~co:out_c ~size:out_size ~k:3 ~s:1 ~p:1 () ]
+  in
+  let act =
+    [ eltwise (tag "s%d.relu") ~count:blocks
+        ~shape:[ batch; out_c; out_size; out_size ] () ]
+  in
+  (first @ rest @ act, out_c, out_size)
+
+(* VGG-16: the classic all-3x3 conv stack, a standard conv-heavy benchmark
+   complementing the residual nets (large uniform GEMM-like convs, no 1x1
+   bottlenecks). *)
+let vgg16 ?(batch = 8) () =
+  (* (output channels, convs in the block); each block ends in a 2x2/2 pool. *)
+  let blocks = [ (64, 2); (128, 2); (256, 3); (512, 3); (512, 3) ] in
+  let rec build layers in_c size = function
+    | [] -> (layers, in_c, size)
+    | (out_c, convs) :: rest ->
+      let first =
+        conv (Fmt.str "conv%d_1" out_c) ~batch ~ci:in_c ~co:out_c ~size ~k:3
+          ~s:1 ~p:1 ()
+      in
+      let others =
+        if convs <= 1 then []
+        else
+          [ conv (Fmt.str "conv%d_n" out_c) ~count:(convs - 1) ~batch
+              ~ci:out_c ~co:out_c ~size ~k:3 ~s:1 ~p:1 () ]
+      in
+      let pool =
+        Model.layer (Fmt.str "pool%d" out_c)
+          (Ops.Pool.maxpool2d ~batch ~channels:out_c ~height:size ~width:size
+             ~window:2 ~stride:2 ())
+      in
+      let act =
+        eltwise (Fmt.str "relu%d" out_c) ~count:convs
+          ~shape:[ batch; out_c; size; size ] ()
+      in
+      build (layers @ (first :: others) @ [ act; pool ]) out_c (size / 2) rest
+  in
+  let layers, last_c, last_size = build [] 3 224 blocks in
+  let head =
+    [ Model.layer "fc1"
+        (Ops.Matmul.gemm ~name:"fc1" ~m:batch
+           ~k:(last_c * last_size * last_size)
+           ~n:4096 ());
+      Model.layer "fc2" (Ops.Matmul.gemm ~name:"fc2" ~m:batch ~k:4096 ~n:4096 ());
+      Model.layer "fc3" (Ops.Matmul.gemm ~name:"fc3" ~m:batch ~k:4096 ~n:1000 ())
+    ]
+  in
+  Model.v ~name:"VGG-16" ~batch (layers @ head)
+
+let resnet34 ?(batch = 8) () =
+  let stem =
+    [ conv "conv1" ~batch ~ci:3 ~co:64 ~size:224 ~k:7 ~s:2 ~p:3 ();
+      Model.layer "maxpool"
+        (Ops.Pool.maxpool2d ~batch ~channels:64 ~height:112 ~width:112
+           ~window:2 ~stride:2 ()) ]
+  in
+  let stages =
+    [ (64, 64, 1, 3); (64, 128, 2, 4); (128, 256, 2, 6); (256, 512, 2, 3) ]
+  in
+  let layers, _, _ =
+    List.fold_left
+      (fun (acc, (in_c, size), stage) (cin, out_c, stride, blocks) ->
+        assert (cin = in_c);
+        let ls, out_c, out_size =
+          basic_stage ~batch ~stage ~in_c ~out_c ~in_size:size ~stride ~blocks
+        in
+        (acc @ ls, (out_c, out_size), stage + 1))
+      (stem, (64, 56), 2) stages
+    |> fun (ls, (c, s), _) -> (ls, c, s)
+  in
+  let head =
+    [ Model.layer "avgpool"
+        (Ops.Pool.avgpool2d ~batch ~channels:512 ~height:7 ~width:7 ~window:7
+           ~stride:7 ());
+      Model.layer "fc" (Ops.Matmul.gemm ~name:"fc" ~m:batch ~k:512 ~n:1000 ()) ]
+  in
+  Model.v ~name:"ResNet-34" ~batch (layers @ head)

@@ -1,0 +1,7 @@
+(** ResNet layer tables (224×224 inputs). *)
+
+val resnet50 : ?batch:int -> unit -> Model.t
+val resnet34 : ?batch:int -> unit -> Model.t
+
+(** VGG-16: the classic all-3×3 convolution stack (~31 GFLOPs/image). *)
+val vgg16 : ?batch:int -> unit -> Model.t

@@ -1,0 +1,69 @@
+(* End-to-end model evaluation: compile every distinct operator with one
+   method, then charge each layer its kernel time per occurrence (paper
+   §V-C).  Elementwise epilogues are assumed fused by every compiled method
+   (they are charged to PyTorch, which runs them as separate kernels). *)
+
+type report = {
+  model : string;
+  method_name : string;
+  compile_wall_s : float;   (* this process's real optimisation time *)
+  compile_sim_s : float;    (* simulated optimisation time (Sim_time) *)
+  exec_time_s : float;      (* one forward pass *)
+  throughput : float;       (* batch items per second *)
+  kernels : int;            (* distinct operators compiled *)
+}
+
+let run ~hw (method_ : Pipeline.Methods.t) model =
+  let cache : (string, Pipeline.Methods.output) Hashtbl.t = Hashtbl.create 64 in
+  let compile_wall = ref 0.0 and compile_sim = ref 0.0 in
+  let op_output op =
+    let key = Model.distinct_key op in
+    match Hashtbl.find_opt cache key with
+    | Some output -> output
+    | None ->
+      let output = method_.Pipeline.Methods.compile ~hw op in
+      Hashtbl.add cache key output;
+      compile_wall := !compile_wall +. output.Pipeline.Methods.wall_s;
+      compile_sim :=
+        !compile_sim +. Pipeline.Methods.simulated_opt_time output;
+      output
+  in
+  let exec_time_s =
+    List.fold_left
+      (fun acc { Model.op; count; _ } ->
+        let output = op_output op in
+        acc
+        +. (float_of_int count
+           *. output.Pipeline.Methods.metrics.Costmodel.Metrics.exec_time_s))
+      0.0 (Model.layers model)
+  in
+  { model = Model.name model;
+    method_name = method_.Pipeline.Methods.name;
+    compile_wall_s = !compile_wall;
+    compile_sim_s = !compile_sim;
+    exec_time_s;
+    throughput = float_of_int (Model.batch model) /. exec_time_s;
+    kernels = Hashtbl.length cache }
+
+(* The eager-framework reference bar: per-op vendor kernels, no fusion, no
+   tuning time. *)
+let run_pytorch ~hw model =
+  let exec_time_s =
+    List.fold_left
+      (fun acc { Model.op; count; _ } ->
+        acc +. (float_of_int count *. Vendor.Pytorch.op_time_s ~hw op))
+      0.0 (Model.layers model)
+  in
+  { model = Model.name model;
+    method_name = "PyTorch";
+    compile_wall_s = 0.0;
+    compile_sim_s = 0.0;
+    exec_time_s;
+    throughput = float_of_int (Model.batch model) /. exec_time_s;
+    kernels = 0 }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "%-12s %-20s exec %8.3f ms | %8.1f items/s | opt %8.1f s (sim) | %d kernels"
+    r.model r.method_name (r.exec_time_s *. 1e3) r.throughput r.compile_sim_s
+    r.kernels

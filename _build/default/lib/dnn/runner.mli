@@ -1,0 +1,19 @@
+(** End-to-end model evaluation (paper §V-C): compile each distinct operator
+    with a method, charge layers per occurrence. *)
+
+type report = {
+  model : string;
+  method_name : string;
+  compile_wall_s : float;
+  compile_sim_s : float;
+  exec_time_s : float;
+  throughput : float;
+  kernels : int;
+}
+
+val run : hw:Hardware.Gpu_spec.t -> Pipeline.Methods.t -> Model.t -> report
+
+(** The eager PyTorch reference bar (per-op vendor kernels, no fusion). *)
+val run_pytorch : hw:Hardware.Gpu_spec.t -> Model.t -> report
+
+val pp_report : report Fmt.t

@@ -1,0 +1,53 @@
+(* Transformer encoder/decoder layer tables: BERT-small and GPT-2 (124M).
+
+   Matmuls carry the compute; softmax and layer-norm appear as elementwise
+   stand-ins with the right tensor shapes (their arithmetic is negligible
+   next to the projections, but their memory traffic is not). *)
+
+let encoder_stack ~prefix ~batch ~seq ~hidden ~heads ~ffn ~layers =
+  let tokens = batch * seq in
+  let head_dim = hidden / heads in
+  let bmm name ~m ~n ~k ~count =
+    Model.layer ~count name
+      (Ops.Matmul.batch_matmul ~name ~batch:(batch * heads) ~m ~n ~k ())
+  in
+  let gemm name ~m ~k ~n ~count =
+    Model.layer ~count name (Ops.Matmul.gemm ~name ~m ~k ~n ())
+  in
+  let eltwise name ~shape ~count =
+    Model.layer ~count name (Ops.Elementwise.relu ~name ~shape ())
+  in
+  [ gemm (prefix ^ ".qkv_proj") ~m:tokens ~k:hidden ~n:hidden
+      ~count:(3 * layers);
+    bmm (prefix ^ ".attn_scores") ~m:seq ~n:seq ~k:head_dim ~count:layers;
+    eltwise (prefix ^ ".softmax") ~shape:[ batch * heads; seq; seq ]
+      ~count:layers;
+    bmm (prefix ^ ".attn_context") ~m:seq ~n:head_dim ~k:seq ~count:layers;
+    gemm (prefix ^ ".out_proj") ~m:tokens ~k:hidden ~n:hidden ~count:layers;
+    gemm (prefix ^ ".ffn_up") ~m:tokens ~k:hidden ~n:ffn ~count:layers;
+    eltwise (prefix ^ ".gelu") ~shape:[ tokens; ffn ] ~count:layers;
+    gemm (prefix ^ ".ffn_down") ~m:tokens ~k:ffn ~n:hidden ~count:layers;
+    eltwise (prefix ^ ".layernorm") ~shape:[ tokens; hidden ]
+      ~count:(2 * layers);
+    eltwise (prefix ^ ".residual") ~shape:[ tokens; hidden ]
+      ~count:(2 * layers) ]
+
+(* BERT-small: 4 layers, hidden 512, 8 heads, FFN 2048. *)
+let bert_small ?(batch = 8) ?(seq = 128) () =
+  Model.v ~name:"BERT-small" ~batch
+    (encoder_stack ~prefix:"bert" ~batch ~seq ~hidden:512 ~heads:8 ~ffn:2048
+       ~layers:4)
+
+(* GPT-2 (124M): 12 layers, hidden 768, 12 heads, FFN 3072, tied LM head over
+   the 50257-token vocabulary (the head dominates small-batch inference). *)
+let gpt2 ?(batch = 8) ?(seq = 128) () =
+  let tokens = batch * seq in
+  let stack =
+    encoder_stack ~prefix:"gpt2" ~batch ~seq ~hidden:768 ~heads:12 ~ffn:3072
+      ~layers:12
+  in
+  let lm_head =
+    Model.layer "gpt2.lm_head"
+      (Ops.Matmul.gemm ~name:"lm_head" ~m:tokens ~k:768 ~n:50257 ())
+  in
+  Model.v ~name:"GPT-2" ~batch (stack @ [ lm_head ])

@@ -1,0 +1,7 @@
+(** Transformer layer tables. *)
+
+(** BERT-small: 4 layers, hidden 512, 8 heads, FFN 2048. *)
+val bert_small : ?batch:int -> ?seq:int -> unit -> Model.t
+
+(** GPT-2 (124M): 12 layers, hidden 768, plus the vocabulary LM head. *)
+val gpt2 : ?batch:int -> ?seq:int -> unit -> Model.t

@@ -1,0 +1,1 @@
+lib/exec/reference.ml: Axis Compute Expr Float Fmt List Sched Tensor Tensor_lang

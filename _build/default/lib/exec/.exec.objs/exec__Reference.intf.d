@@ -1,0 +1,1 @@
+lib/exec/reference.mli: Tensor Tensor_lang

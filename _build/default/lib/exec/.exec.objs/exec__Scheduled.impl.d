@@ -1,0 +1,1 @@
+lib/exec/scheduled.ml: Array Axis Compute Etir Expr Float Fmt List Sched Tensor Tensor_lang

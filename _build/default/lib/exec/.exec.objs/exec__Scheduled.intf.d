@@ -1,0 +1,1 @@
+lib/exec/scheduled.mli: Sched Tensor

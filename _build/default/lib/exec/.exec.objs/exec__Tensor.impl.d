@@ -1,0 +1,1 @@
+lib/exec/tensor.ml: Array Float Fmt List Sched

@@ -1,0 +1,1 @@
+lib/exec/tensor.mli: Fmt Sched

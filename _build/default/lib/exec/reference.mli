@@ -1,0 +1,11 @@
+(** Reference interpreter for compute definitions — the semantic ground
+    truth schedules are validated against. *)
+
+(** [run compute inputs] executes the definition directly over its iteration
+    domain.  Raises [Invalid_argument] on missing inputs or shape
+    mismatches. *)
+val run : Tensor_lang.Compute.t -> (string * Tensor.t) list -> Tensor.t
+
+(** Deterministic random inputs matching the declared input shapes. *)
+val random_inputs :
+  ?seed:int -> Tensor_lang.Compute.t -> (string * Tensor.t) list

@@ -1,0 +1,14 @@
+(** Scheduled executor: runs an ETIR's tiled / virtual-threaded loop nest on
+    the CPU, mirroring the generated kernel's structure.  Used to validate
+    that schedules preserve the compute definition's semantics. *)
+
+type result = {
+  output : Tensor.t;
+  coverage : Tensor.t;  (** per-output-element visit count *)
+}
+
+val run : Sched.Etir.t -> (string * Tensor.t) list -> result
+
+(** True when every output element was written exactly once — the partition
+    invariant of a correct schedule. *)
+val coverage_exact : result -> bool

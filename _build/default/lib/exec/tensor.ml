@@ -1,0 +1,97 @@
+(* Dense row-major float tensors for the CPU executor. *)
+
+type t = { shape : int array; strides : int array; data : float array }
+
+let strides_of shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * shape.(i + 1)
+  done;
+  strides
+
+let numel shape = Array.fold_left ( * ) 1 shape
+
+let create ?(init = 0.0) shape =
+  let shape = Array.of_list shape in
+  if Array.exists (fun d -> d <= 0) shape then
+    invalid_arg "Tensor.create: non-positive dimension";
+  { shape; strides = strides_of shape; data = Array.make (numel shape) init }
+
+let shape t = Array.to_list t.shape
+let size t = Array.length t.data
+
+let offset t coords =
+  let n = Array.length t.shape in
+  if List.length coords <> n then invalid_arg "Tensor.offset: rank mismatch";
+  let off = ref 0 in
+  List.iteri
+    (fun i c ->
+      if c < 0 || c >= t.shape.(i) then
+        invalid_arg
+          (Fmt.str "Tensor.offset: index %d out of bounds [0,%d) at dim %d" c
+             t.shape.(i) i);
+      off := !off + (c * t.strides.(i)))
+    coords;
+  !off
+
+let get t coords = t.data.(offset t coords)
+let set t coords v = t.data.(offset t coords) <- v
+
+let init shape f =
+  let t = create shape in
+  let n = Array.length t.shape in
+  let coords = Array.make n 0 in
+  let rec go dim =
+    if dim = n then begin
+      let off = ref 0 in
+      Array.iteri (fun i c -> off := !off + (c * t.strides.(i))) coords;
+      t.data.(!off) <- f (Array.to_list coords)
+    end
+    else
+      for c = 0 to t.shape.(dim) - 1 do
+        coords.(dim) <- c;
+        go (dim + 1)
+      done
+  in
+  go 0;
+  t
+
+let fill_random rng t =
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Sched.Rng.float rng -. 0.5
+  done
+
+let max_abs_diff a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to Array.length a.data - 1 do
+    let d = Float.abs (a.data.(i) -. b.data.(i)) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let approx_equal ?(tol = 1e-4) a b = max_abs_diff a b <= tol
+
+(* Zero-pad the two trailing (spatial) dimensions of an NCHW tensor; used to
+   materialise the pre-padded inputs convolution definitions read. *)
+let pad_hw t ~pad =
+  match Array.to_list t.shape with
+  | [ n; c; h; w ] ->
+    let padded = create [ n; c; h + (2 * pad); w + (2 * pad) ] in
+    for in_ = 0 to n - 1 do
+      for ch = 0 to c - 1 do
+        for y = 0 to h - 1 do
+          for x = 0 to w - 1 do
+            set padded [ in_; ch; y + pad; x + pad ] (get t [ in_; ch; y; x ])
+          done
+        done
+      done
+    done;
+    padded
+  | _ -> invalid_arg "Tensor.pad_hw: expected a rank-4 tensor"
+
+let pp ppf t =
+  Fmt.pf ppf "tensor[%a] (%d elems)"
+    Fmt.(array ~sep:(any "x") int)
+    t.shape (size t)

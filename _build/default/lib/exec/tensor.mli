@@ -1,0 +1,31 @@
+(** Dense row-major float tensors for the CPU executor. *)
+
+type t
+
+(** [create shape] is a zero (or [init]) filled tensor.  Raises
+    [Invalid_argument] on non-positive dimensions. *)
+val create : ?init:float -> int list -> t
+
+val shape : t -> int list
+val size : t -> int
+
+(** Element access; raises [Invalid_argument] on rank mismatch or
+    out-of-bounds coordinates. *)
+
+val get : t -> int list -> float
+val set : t -> int list -> float -> unit
+
+(** [init shape f] fills each coordinate with [f coords]. *)
+val init : int list -> (int list -> float) -> t
+
+(** Fill with uniform values in [-0.5, 0.5) from the deterministic RNG. *)
+val fill_random : Sched.Rng.t -> t -> unit
+
+val max_abs_diff : t -> t -> float
+val approx_equal : ?tol:float -> t -> t -> bool
+
+(** Zero-pad the two trailing dimensions of an NCHW tensor (for pre-padded
+    convolution inputs). *)
+val pad_hw : t -> pad:int -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/hardware/gpu_spec.ml: Array Fmt Mem_level

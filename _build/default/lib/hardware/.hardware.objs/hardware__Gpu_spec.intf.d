@@ -1,0 +1,1 @@
+lib/hardware/gpu_spec.mli: Fmt Mem_level

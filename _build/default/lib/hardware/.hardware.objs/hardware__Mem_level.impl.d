@@ -1,0 +1,1 @@
+lib/hardware/mem_level.ml: Fmt

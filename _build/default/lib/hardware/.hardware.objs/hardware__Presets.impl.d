@@ -1,0 +1,1 @@
+lib/hardware/presets.ml: Gpu_spec Mem_level

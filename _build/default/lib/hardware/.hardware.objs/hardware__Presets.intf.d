@@ -1,0 +1,1 @@
+lib/hardware/presets.mli: Gpu_spec

@@ -1,0 +1,55 @@
+(* A single level of the GPU memory hierarchy.
+
+   Levels are ordered from the registers (closest to the compute units,
+   highest index in the paper's [D = [T_L; ...; T_1; T_0]] notation) down to
+   off-chip DRAM.  Each level carries the theoretical figures the cost model
+   and Gensor's benefit formulas consume: capacity, bandwidth, access latency
+   and banking structure. *)
+
+type scope =
+  | Per_thread  (** private to one thread, e.g. the register file slice *)
+  | Per_block   (** shared by one thread block, e.g. shared memory *)
+  | Device      (** visible to the whole device, e.g. L2 or DRAM *)
+
+type t = {
+  name : string;
+  scope : scope;
+  capacity_bytes : int;
+      (* capacity of the *allocatable unit*: bytes per thread for
+         [Per_thread], bytes per SM for [Per_block], total bytes for
+         [Device]. *)
+  bandwidth_gbs : float;  (* aggregate bandwidth in GB/s *)
+  latency_cycles : float; (* unloaded access latency *)
+  banks : int;            (* number of banks; 1 when banking is irrelevant *)
+  bank_width_bytes : int; (* bytes served by one bank per access *)
+}
+
+let v ~name ~scope ~capacity_bytes ~bandwidth_gbs ~latency_cycles ?(banks = 1)
+    ?(bank_width_bytes = 4) () =
+  if capacity_bytes <= 0 then invalid_arg "Mem_level.v: capacity_bytes <= 0";
+  if bandwidth_gbs <= 0. then invalid_arg "Mem_level.v: bandwidth_gbs <= 0";
+  if latency_cycles < 0. then invalid_arg "Mem_level.v: latency_cycles < 0";
+  if banks <= 0 then invalid_arg "Mem_level.v: banks <= 0";
+  if bank_width_bytes <= 0 then invalid_arg "Mem_level.v: bank_width_bytes <= 0";
+  { name; scope; capacity_bytes; bandwidth_gbs; latency_cycles; banks;
+    bank_width_bytes }
+
+let name t = t.name
+let scope t = t.scope
+let capacity_bytes t = t.capacity_bytes
+let bandwidth_gbs t = t.bandwidth_gbs
+let latency_cycles t = t.latency_cycles
+let banks t = t.banks
+let bank_width_bytes t = t.bank_width_bytes
+
+(* Time in seconds to move [bytes] through this level including the fixed
+   latency, Eq. 2's [L + S/B] term.  [clock_ghz] converts the latency from
+   cycles to seconds. *)
+let transfer_seconds t ~clock_ghz ~bytes =
+  if bytes < 0 then invalid_arg "Mem_level.transfer_seconds: bytes < 0";
+  let latency_s = t.latency_cycles /. (clock_ghz *. 1e9) in
+  latency_s +. float_of_int bytes /. (t.bandwidth_gbs *. 1e9)
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%dB, %.1fGB/s, %.0fcyc, %d banks)" t.name t.capacity_bytes
+    t.bandwidth_gbs t.latency_cycles t.banks

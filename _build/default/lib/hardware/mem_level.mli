@@ -1,0 +1,41 @@
+(** One level of a GPU memory hierarchy.
+
+    A level is described by the theoretical figures that drive Gensor's
+    analytical benefit formulas (paper Eq. 1-3): capacity, bandwidth, access
+    latency and banking.  Levels are immutable values created with {!v}. *)
+
+type scope =
+  | Per_thread  (** private to one thread (register file slice) *)
+  | Per_block   (** shared by a thread block (shared memory / L1) *)
+  | Device      (** device-wide (L2, DRAM) *)
+
+type t
+
+(** [v ~name ~scope ~capacity_bytes ~bandwidth_gbs ~latency_cycles ()] builds a
+    level.  [capacity_bytes] is per allocatable unit: per thread for
+    [Per_thread], per SM for [Per_block], total for [Device].  Raises
+    [Invalid_argument] on non-positive capacities, bandwidths or bank counts. *)
+val v :
+  name:string ->
+  scope:scope ->
+  capacity_bytes:int ->
+  bandwidth_gbs:float ->
+  latency_cycles:float ->
+  ?banks:int ->
+  ?bank_width_bytes:int ->
+  unit ->
+  t
+
+val name : t -> string
+val scope : t -> scope
+val capacity_bytes : t -> int
+val bandwidth_gbs : t -> float
+val latency_cycles : t -> float
+val banks : t -> int
+val bank_width_bytes : t -> int
+
+(** [transfer_seconds t ~clock_ghz ~bytes] is the latency-plus-throughput time
+    [L + S/B] of moving [bytes] through this level (paper Eq. 2). *)
+val transfer_seconds : t -> clock_ghz:float -> bytes:int -> float
+
+val pp : t Fmt.t

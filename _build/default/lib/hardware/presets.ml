@@ -1,0 +1,52 @@
+(* Device presets for the paper's two evaluation platforms (Table III).
+
+   Figures come from public spec sheets; see DESIGN.md §6.  Register-level
+   capacity is expressed per thread (255 32-bit registers on recent NVIDIA
+   parts), shared memory per SM, L2 and DRAM device-wide. *)
+
+let rtx4090 =
+  let levels =
+    [| Mem_level.v ~name:"reg" ~scope:Mem_level.Per_thread
+         ~capacity_bytes:(255 * 4) ~bandwidth_gbs:40000.0 ~latency_cycles:0.0
+         ~banks:1 ~bank_width_bytes:4 ();
+       Mem_level.v ~name:"smem" ~scope:Mem_level.Per_block
+         ~capacity_bytes:(100 * 1024) ~bandwidth_gbs:40000.0
+         ~latency_cycles:25.0 ~banks:32 ~bank_width_bytes:4 ();
+       Mem_level.v ~name:"l2" ~scope:Mem_level.Device
+         ~capacity_bytes:(72 * 1024 * 1024) ~bandwidth_gbs:5000.0
+         ~latency_cycles:200.0 ~banks:1 ~bank_width_bytes:32 ();
+       Mem_level.v ~name:"dram" ~scope:Mem_level.Device
+         ~capacity_bytes:(24 * 1024 * 1024 * 1024) ~bandwidth_gbs:1008.0
+         ~latency_cycles:500.0 ~banks:1 ~bank_width_bytes:32 ();
+    |]
+  in
+  Gpu_spec.v ~name:"RTX 4090" ~sm_count:128 ~cores_per_sm:128 ~clock_ghz:2.52
+    ~warp_size:32 ~max_threads_per_sm:1536 ~max_threads_per_block:1024
+    ~registers_per_sm:65536 ~power_watts:450.0 ~levels
+
+let orin_nano =
+  let levels =
+    [| Mem_level.v ~name:"reg" ~scope:Mem_level.Per_thread
+         ~capacity_bytes:(255 * 4) ~bandwidth_gbs:2000.0 ~latency_cycles:0.0
+         ~banks:1 ~bank_width_bytes:4 ();
+       Mem_level.v ~name:"smem" ~scope:Mem_level.Per_block
+         ~capacity_bytes:(48 * 1024) ~bandwidth_gbs:640.0 ~latency_cycles:30.0
+         ~banks:32 ~bank_width_bytes:4 ();
+       Mem_level.v ~name:"l2" ~scope:Mem_level.Device
+         ~capacity_bytes:(2 * 1024 * 1024) ~bandwidth_gbs:300.0
+         ~latency_cycles:250.0 ~banks:1 ~bank_width_bytes:32 ();
+       Mem_level.v ~name:"dram" ~scope:Mem_level.Device
+         ~capacity_bytes:(8 * 1024 * 1024 * 1024) ~bandwidth_gbs:68.0
+         ~latency_cycles:600.0 ~banks:1 ~bank_width_bytes:32 ();
+    |]
+  in
+  Gpu_spec.v ~name:"Orin Nano" ~sm_count:8 ~cores_per_sm:128 ~clock_ghz:0.625
+    ~warp_size:32 ~max_threads_per_sm:1024 ~max_threads_per_block:1024
+    ~registers_per_sm:65536 ~power_watts:15.0 ~levels
+
+let by_name = function
+  | "rtx4090" | "4090" | "RTX 4090" -> Some rtx4090
+  | "orin" | "orin-nano" | "Orin Nano" -> Some orin_nano
+  | _ -> None
+
+let all = [ rtx4090; orin_nano ]

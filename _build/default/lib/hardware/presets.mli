@@ -1,0 +1,13 @@
+(** Device presets for the paper's evaluation platforms (Table III). *)
+
+(** NVIDIA RTX 4090 (cloud server): 128 Ada SMs, 24 GB GDDR6X, 72 MB L2. *)
+val rtx4090 : Gpu_spec.t
+
+(** NVIDIA Jetson Orin Nano 8GB (edge): 8 Ampere SMs, LPDDR5, 15 W. *)
+val orin_nano : Gpu_spec.t
+
+(** [by_name s] resolves a preset by a CLI-friendly name ("rtx4090",
+    "orin"). *)
+val by_name : string -> Gpu_spec.t option
+
+val all : Gpu_spec.t list

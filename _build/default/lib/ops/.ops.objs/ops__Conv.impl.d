@@ -1,0 +1,1 @@
+lib/ops/conv.ml: Axis Compute Dtype Expr Index Op Tensor_lang

@@ -1,0 +1,1 @@
+lib/ops/conv.mli: Op

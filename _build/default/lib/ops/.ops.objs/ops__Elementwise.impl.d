@@ -1,0 +1,1 @@
+lib/ops/elementwise.ml: Axis Compute Dtype Expr Fmt Index List Op Tensor_lang

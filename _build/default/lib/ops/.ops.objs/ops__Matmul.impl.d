@@ -1,0 +1,1 @@
+lib/ops/matmul.ml: Axis Compute Dtype Expr Index Op Tensor_lang

@@ -1,0 +1,1 @@
+lib/ops/matmul.mli: Op

@@ -1,0 +1,1 @@
+lib/ops/op.ml: Fmt Tensor_lang

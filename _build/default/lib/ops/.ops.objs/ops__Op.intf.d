@@ -1,0 +1,1 @@
+lib/ops/op.mli: Fmt Tensor_lang

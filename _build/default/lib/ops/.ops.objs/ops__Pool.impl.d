@@ -1,0 +1,1 @@
+lib/ops/pool.ml: Axis Compute Conv Dtype Expr Index Op Tensor_lang

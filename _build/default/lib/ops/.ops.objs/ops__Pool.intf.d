@@ -1,0 +1,1 @@
+lib/ops/pool.mli: Op

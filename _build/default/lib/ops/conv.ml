@@ -1,0 +1,79 @@
+open Tensor_lang
+
+let out_dim ~in_dim ~kernel ~stride ~pad =
+  let padded = in_dim + (2 * pad) in
+  if padded < kernel then
+    invalid_arg "Conv.out_dim: kernel larger than padded input";
+  ((padded - kernel) / stride) + 1
+
+(* O[n,f,x,y] = sum_{c,rx,ry} I[n,c,S*x+rx,S*y+ry] * K[f,c,rx,ry]
+
+   Padding is folded into the declared input shape: the compute definition
+   always reads a [pad]-expanded input, which the executor materialises by
+   zero-padding.  This keeps every access in-bounds, which the interval
+   analysis of the cost model relies on. *)
+let conv2d ?(name = "conv2d") ~batch ~in_channels ~out_channels ~height ~width
+    ~kernel ~stride ?(pad = 0) () =
+  if stride <= 0 then invalid_arg "Conv.conv2d: stride <= 0";
+  if kernel <= 0 then invalid_arg "Conv.conv2d: kernel <= 0";
+  let out_h = out_dim ~in_dim:height ~kernel ~stride ~pad in
+  let out_w = out_dim ~in_dim:width ~kernel ~stride ~pad in
+  let padded_h = height + (2 * pad) and padded_w = width + (2 * pad) in
+  let axes =
+    [ Axis.spatial "n" batch; Axis.spatial "f" out_channels;
+      Axis.spatial "x" out_h; Axis.spatial "y" out_w;
+      Axis.reduce "c" in_channels; Axis.reduce "rx" kernel;
+      Axis.reduce "ry" kernel ]
+  in
+  let inputs =
+    [ { Compute.in_name = "I";
+        in_shape = [ batch; in_channels; padded_h; padded_w ];
+        in_dtype = Dtype.F32 };
+      { Compute.in_name = "K";
+        in_shape = [ out_channels; in_channels; kernel; kernel ];
+        in_dtype = Dtype.F32 } ]
+  in
+  let s = Index.const stride in
+  let body =
+    Expr.mul
+      (Expr.read "I"
+         [ Index.var "n"; Index.var "c";
+           Index.add (Index.mul s (Index.var "x")) (Index.var "rx");
+           Index.add (Index.mul s (Index.var "y")) (Index.var "ry") ])
+      (Expr.read "K"
+         [ Index.var "f"; Index.var "c"; Index.var "rx"; Index.var "ry" ])
+  in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"O" ~body () in
+  Op.v ~kind:Op.Conv2d ~compute
+
+(* O[n,c,x,y] = sum_{rx,ry} I[n,c,S*x+rx,S*y+ry] * K[c,rx,ry] *)
+let depthwise_conv2d ?(name = "dwconv2d") ~batch ~channels ~height ~width
+    ~kernel ~stride ?(pad = 0) () =
+  if stride <= 0 then invalid_arg "Conv.depthwise_conv2d: stride <= 0";
+  let out_h = out_dim ~in_dim:height ~kernel ~stride ~pad in
+  let out_w = out_dim ~in_dim:width ~kernel ~stride ~pad in
+  let padded_h = height + (2 * pad) and padded_w = width + (2 * pad) in
+  let axes =
+    [ Axis.spatial "n" batch; Axis.spatial "c" channels;
+      Axis.spatial "x" out_h; Axis.spatial "y" out_w;
+      Axis.reduce "rx" kernel; Axis.reduce "ry" kernel ]
+  in
+  let inputs =
+    [ { Compute.in_name = "I";
+        in_shape = [ batch; channels; padded_h; padded_w ];
+        in_dtype = Dtype.F32 };
+      { Compute.in_name = "K";
+        in_shape = [ channels; kernel; kernel ];
+        in_dtype = Dtype.F32 } ]
+  in
+  let s = Index.const stride in
+  let body =
+    Expr.mul
+      (Expr.read "I"
+         [ Index.var "n"; Index.var "c";
+           Index.add (Index.mul s (Index.var "x")) (Index.var "rx");
+           Index.add (Index.mul s (Index.var "y")) (Index.var "ry") ])
+      (Expr.read "K" [ Index.var "c"; Index.var "rx"; Index.var "ry" ])
+  in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"O" ~body () in
+  Op.v ~kind:Op.Depthwise_conv2d ~compute

@@ -1,0 +1,34 @@
+(** Convolution operators (NCHW layout).
+
+    Padding is folded into the declared input shape: the compute definition
+    reads a pre-padded input tensor, which the executor materialises with
+    zeros.  This keeps all accesses in-bounds for interval analysis. *)
+
+(** [out_dim ~in_dim ~kernel ~stride ~pad] is the output spatial extent;
+    raises [Invalid_argument] when the kernel exceeds the padded input. *)
+val out_dim : in_dim:int -> kernel:int -> stride:int -> pad:int -> int
+
+val conv2d :
+  ?name:string ->
+  batch:int ->
+  in_channels:int ->
+  out_channels:int ->
+  height:int ->
+  width:int ->
+  kernel:int ->
+  stride:int ->
+  ?pad:int ->
+  unit ->
+  Op.t
+
+val depthwise_conv2d :
+  ?name:string ->
+  batch:int ->
+  channels:int ->
+  height:int ->
+  width:int ->
+  kernel:int ->
+  stride:int ->
+  ?pad:int ->
+  unit ->
+  Op.t

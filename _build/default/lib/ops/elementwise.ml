@@ -1,0 +1,64 @@
+open Tensor_lang
+
+let dim_axes shape =
+  List.mapi (fun i extent -> Axis.spatial (Fmt.str "d%d" i) extent) shape
+
+let dim_vars shape = List.mapi (fun i _ -> Index.var (Fmt.str "d%d" i)) shape
+
+(* O[...] = max(X[...], 0) *)
+let relu ?(name = "relu") ~shape () =
+  if shape = [] then invalid_arg "Elementwise.relu: empty shape";
+  let axes = dim_axes shape in
+  let inputs =
+    [ { Compute.in_name = "X"; in_shape = shape; in_dtype = Dtype.F32 } ]
+  in
+  let body = Expr.max_ (Expr.read "X" (dim_vars shape)) (Expr.imm 0.0) in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"O" ~body () in
+  Op.v ~kind:Op.Elementwise ~compute
+
+(* O[...] = X[...] + Y[...] *)
+let add ?(name = "add") ~shape () =
+  if shape = [] then invalid_arg "Elementwise.add: empty shape";
+  let axes = dim_axes shape in
+  let inputs =
+    [ { Compute.in_name = "X"; in_shape = shape; in_dtype = Dtype.F32 };
+      { Compute.in_name = "Y"; in_shape = shape; in_dtype = Dtype.F32 } ]
+  in
+  let vars = dim_vars shape in
+  let body = Expr.add (Expr.read "X" vars) (Expr.read "Y" vars) in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"O" ~body () in
+  Op.v ~kind:Op.Elementwise ~compute
+
+(* O[n,c,...] = X[n,c,...] + B[c]: channel-broadcast bias for NCHW. *)
+let bias_add ?(name = "bias_add") ~shape () =
+  match shape with
+  | _ :: channels :: _ ->
+    let axes = dim_axes shape in
+    let inputs =
+      [ { Compute.in_name = "X"; in_shape = shape; in_dtype = Dtype.F32 };
+        { Compute.in_name = "B"; in_shape = [ channels ]; in_dtype = Dtype.F32 }
+      ]
+    in
+    let vars = dim_vars shape in
+    let body =
+      Expr.add (Expr.read "X" vars) (Expr.read "B" [ Index.var "d1" ])
+    in
+    let compute = Compute.v ~name ~axes ~inputs ~out_name:"O" ~body () in
+    Op.v ~kind:Op.Elementwise ~compute
+  | [] | [ _ ] -> invalid_arg "Elementwise.bias_add: need rank >= 2 (N,C,...)"
+
+(* O[...] = a * X[...] + b: affine map standing in for normalisation layers in
+   the end-to-end model tables. *)
+let affine ?(name = "affine") ~shape ~mul_const ~add_const () =
+  if shape = [] then invalid_arg "Elementwise.affine: empty shape";
+  let axes = dim_axes shape in
+  let inputs =
+    [ { Compute.in_name = "X"; in_shape = shape; in_dtype = Dtype.F32 } ]
+  in
+  let body =
+    Expr.add
+      (Expr.mul (Expr.imm mul_const) (Expr.read "X" (dim_vars shape)))
+      (Expr.imm add_const)
+  in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"O" ~body () in
+  Op.v ~kind:Op.Elementwise ~compute

@@ -1,0 +1,16 @@
+(** Elementwise operators used as epilogues and normalisation stand-ins in the
+    end-to-end model tables. *)
+
+val relu : ?name:string -> shape:int list -> unit -> Op.t
+
+(** Binary elementwise add of two same-shaped tensors. *)
+val add : ?name:string -> shape:int list -> unit -> Op.t
+
+(** Channel-broadcast bias for an (N, C, ...) tensor; raises
+    [Invalid_argument] for rank < 2. *)
+val bias_add : ?name:string -> shape:int list -> unit -> Op.t
+
+(** [affine ~shape ~mul_const ~add_const ()] is [a·X + b]. *)
+val affine :
+  ?name:string -> shape:int list -> mul_const:float -> add_const:float ->
+  unit -> Op.t

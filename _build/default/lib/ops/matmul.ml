@@ -1,0 +1,50 @@
+open Tensor_lang
+
+(* C[i,j] = sum_k A[i,k] * B[k,j] *)
+let gemm ?(name = "gemm") ~m ~n ~k () =
+  let axes = [ Axis.spatial "i" m; Axis.spatial "j" n; Axis.reduce "k" k ] in
+  let inputs =
+    [ { Compute.in_name = "A"; in_shape = [ m; k ]; in_dtype = Dtype.F32 };
+      { Compute.in_name = "B"; in_shape = [ k; n ]; in_dtype = Dtype.F32 } ]
+  in
+  let body =
+    Expr.mul
+      (Expr.read "A" [ Index.var "i"; Index.var "k" ])
+      (Expr.read "B" [ Index.var "k"; Index.var "j" ])
+  in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"C" ~body () in
+  Op.v ~kind:Op.Gemm ~compute
+
+(* y[i] = sum_k A[i,k] * x[k] *)
+let gemv ?(name = "gemv") ~m ~n () =
+  let axes = [ Axis.spatial "i" m; Axis.reduce "k" n ] in
+  let inputs =
+    [ { Compute.in_name = "A"; in_shape = [ m; n ]; in_dtype = Dtype.F32 };
+      { Compute.in_name = "x"; in_shape = [ n ]; in_dtype = Dtype.F32 } ]
+  in
+  let body =
+    Expr.mul
+      (Expr.read "A" [ Index.var "i"; Index.var "k" ])
+      (Expr.read "x" [ Index.var "k" ])
+  in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"y" ~body () in
+  Op.v ~kind:Op.Gemv ~compute
+
+(* C[b,i,j] = sum_k A[b,i,k] * B[b,k,j] *)
+let batch_matmul ?(name = "bmm") ~batch ~m ~n ~k () =
+  let axes =
+    [ Axis.spatial "b" batch; Axis.spatial "i" m; Axis.spatial "j" n;
+      Axis.reduce "k" k ]
+  in
+  let inputs =
+    [ { Compute.in_name = "A"; in_shape = [ batch; m; k ]; in_dtype = Dtype.F32 };
+      { Compute.in_name = "B"; in_shape = [ batch; k; n ]; in_dtype = Dtype.F32 }
+    ]
+  in
+  let body =
+    Expr.mul
+      (Expr.read "A" [ Index.var "b"; Index.var "i"; Index.var "k" ])
+      (Expr.read "B" [ Index.var "b"; Index.var "k"; Index.var "j" ])
+  in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"C" ~body () in
+  Op.v ~kind:Op.Batch_matmul ~compute

@@ -1,0 +1,11 @@
+(** Matrix-multiplication operators. *)
+
+(** [gemm ~m ~n ~k ()] is [C\[i,j\] = Σ_k A\[i,k\]·B\[k,j\]]. *)
+val gemm : ?name:string -> m:int -> n:int -> k:int -> unit -> Op.t
+
+(** [gemv ~m ~n ()] is [y\[i\] = Σ_k A\[i,k\]·x\[k\]] with [A : m×n]. *)
+val gemv : ?name:string -> m:int -> n:int -> unit -> Op.t
+
+(** [batch_matmul ~batch ~m ~n ~k ()] is the batched GEMM used by attention. *)
+val batch_matmul :
+  ?name:string -> batch:int -> m:int -> n:int -> k:int -> unit -> Op.t

@@ -1,0 +1,38 @@
+type kind =
+  | Gemm
+  | Gemv
+  | Batch_matmul
+  | Conv2d
+  | Depthwise_conv2d
+  | Avgpool2d
+  | Maxpool2d
+  | Elementwise
+
+type t = { kind : kind; compute : Tensor_lang.Compute.t }
+
+let v ~kind ~compute = { kind; compute }
+let kind t = t.kind
+let compute t = t.compute
+let name t = Tensor_lang.Compute.name t.compute
+let flops t = Tensor_lang.Compute.total_flops t.compute
+
+let kind_to_string = function
+  | Gemm -> "gemm"
+  | Gemv -> "gemv"
+  | Batch_matmul -> "batch_matmul"
+  | Conv2d -> "conv2d"
+  | Depthwise_conv2d -> "depthwise_conv2d"
+  | Avgpool2d -> "avgpool2d"
+  | Maxpool2d -> "maxpool2d"
+  | Elementwise -> "elementwise"
+
+(* Operators whose arithmetic intensity is high enough that a vendor GEMM/conv
+   template library covers them; pooling and elementwise kernels are
+   memory-bound. *)
+let is_compute_bound t =
+  match t.kind with
+  | Gemm | Batch_matmul | Conv2d -> true
+  | Gemv | Depthwise_conv2d | Avgpool2d | Maxpool2d | Elementwise -> false
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%a)" (kind_to_string t.kind) Tensor_lang.Compute.pp t.compute

@@ -1,0 +1,33 @@
+(** Operators: a compute definition tagged with its operator class.
+
+    The class drives baseline behaviour (vendor template banks are per-class)
+    and reporting labels; all scheduling works on the underlying
+    {!Tensor_lang.Compute.t}. *)
+
+type kind =
+  | Gemm
+  | Gemv
+  | Batch_matmul
+  | Conv2d
+  | Depthwise_conv2d
+  | Avgpool2d
+  | Maxpool2d
+  | Elementwise
+
+type t
+
+val v : kind:kind -> compute:Tensor_lang.Compute.t -> t
+val kind : t -> kind
+val compute : t -> Tensor_lang.Compute.t
+val name : t -> string
+
+(** Total FLOPs of one execution. *)
+val flops : t -> int
+
+val kind_to_string : kind -> string
+
+(** Whether the operator class is compute-bound (GEMM-like) rather than
+    memory-bound (pooling, GEMV, elementwise). *)
+val is_compute_bound : t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,59 @@
+open Tensor_lang
+
+(* O[n,c,x,y] = (1/F^2) * sum_{i,j} I[n,c,S*x+i,S*y+j] *)
+let avgpool2d ?(name = "avgpool2d") ~batch ~channels ~height ~width ~window
+    ~stride () =
+  if window <= 0 then invalid_arg "Pool.avgpool2d: window <= 0";
+  if stride <= 0 then invalid_arg "Pool.avgpool2d: stride <= 0";
+  let out_h = Conv.out_dim ~in_dim:height ~kernel:window ~stride ~pad:0 in
+  let out_w = Conv.out_dim ~in_dim:width ~kernel:window ~stride ~pad:0 in
+  let axes =
+    [ Axis.spatial "n" batch; Axis.spatial "c" channels;
+      Axis.spatial "x" out_h; Axis.spatial "y" out_w;
+      Axis.reduce "i" window; Axis.reduce "j" window ]
+  in
+  let inputs =
+    [ { Compute.in_name = "I";
+        in_shape = [ batch; channels; height; width ];
+        in_dtype = Dtype.F32 } ]
+  in
+  let s = Index.const stride in
+  let body =
+    Expr.read "I"
+      [ Index.var "n"; Index.var "c";
+        Index.add (Index.mul s (Index.var "x")) (Index.var "i");
+        Index.add (Index.mul s (Index.var "y")) (Index.var "j") ]
+  in
+  let scale = 1.0 /. float_of_int (window * window) in
+  let compute = Compute.v ~name ~axes ~inputs ~out_name:"O" ~scale ~body () in
+  Op.v ~kind:Op.Avgpool2d ~compute
+
+(* O[n,c,x,y] = max_{i,j} I[n,c,S*x+i,S*y+j] *)
+let maxpool2d ?(name = "maxpool2d") ~batch ~channels ~height ~width ~window
+    ~stride () =
+  if window <= 0 then invalid_arg "Pool.maxpool2d: window <= 0";
+  if stride <= 0 then invalid_arg "Pool.maxpool2d: stride <= 0";
+  let out_h = Conv.out_dim ~in_dim:height ~kernel:window ~stride ~pad:0 in
+  let out_w = Conv.out_dim ~in_dim:width ~kernel:window ~stride ~pad:0 in
+  let axes =
+    [ Axis.spatial "n" batch; Axis.spatial "c" channels;
+      Axis.spatial "x" out_h; Axis.spatial "y" out_w;
+      Axis.reduce "i" window; Axis.reduce "j" window ]
+  in
+  let inputs =
+    [ { Compute.in_name = "I";
+        in_shape = [ batch; channels; height; width ];
+        in_dtype = Dtype.F32 } ]
+  in
+  let s = Index.const stride in
+  let body =
+    Expr.read "I"
+      [ Index.var "n"; Index.var "c";
+        Index.add (Index.mul s (Index.var "x")) (Index.var "i");
+        Index.add (Index.mul s (Index.var "y")) (Index.var "j") ]
+  in
+  let compute =
+    Compute.v ~name ~axes ~inputs ~out_name:"O" ~init:neg_infinity
+      ~combine:Compute.Max_combine ~body ()
+  in
+  Op.v ~kind:Op.Maxpool2d ~compute

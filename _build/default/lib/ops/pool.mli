@@ -1,0 +1,23 @@
+(** Pooling operators (NCHW, unpadded windows). *)
+
+val avgpool2d :
+  ?name:string ->
+  batch:int ->
+  channels:int ->
+  height:int ->
+  width:int ->
+  window:int ->
+  stride:int ->
+  unit ->
+  Op.t
+
+val maxpool2d :
+  ?name:string ->
+  batch:int ->
+  channels:int ->
+  height:int ->
+  width:int ->
+  window:int ->
+  stride:int ->
+  unit ->
+  Op.t

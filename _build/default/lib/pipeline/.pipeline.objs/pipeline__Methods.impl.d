@@ -1,0 +1,1 @@
+lib/pipeline/methods.ml: Ansor Costmodel Gensor Hardware Ops Roller Sched Sim_time Vendor

@@ -1,0 +1,1 @@
+lib/pipeline/methods.mli: Costmodel Gensor Hardware Ops Sched

@@ -1,0 +1,1 @@
+lib/pipeline/sim_time.mli:

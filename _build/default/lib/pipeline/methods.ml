@@ -1,0 +1,88 @@
+(* Uniform interface over the compilation methods compared throughout the
+   evaluation.  Each method compiles one operator and reports the chosen
+   configuration, predicted metrics, and its optimisation cost in both real
+   wall time and simulated time (see Sim_time). *)
+
+type output = {
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+  analysis_steps : int;   (* Markov policy evaluations (Gensor) *)
+  tree_steps : int;       (* deterministic tree comparisons (Roller) *)
+  measure_trials : int;   (* on-device measurements (search methods) *)
+  wall_s : float;
+}
+
+type t = {
+  name : string;
+  compile : hw:Hardware.Gpu_spec.t -> Ops.Op.t -> output;
+}
+
+let simulated_opt_time output =
+  Sim_time.simulated ~tree_steps:output.tree_steps
+    ~analysis_steps:output.analysis_steps
+    ~measure_trials:output.measure_trials ()
+
+let gensor ?(config = Gensor.Optimizer.default_config) ?(name = "Gensor") () =
+  { name;
+    compile =
+      (fun ~hw op ->
+        let r = Gensor.Optimizer.optimize ~config ~hw (Ops.Op.compute op) in
+        { etir = r.Gensor.Optimizer.etir;
+          metrics = r.Gensor.Optimizer.metrics;
+          analysis_steps =
+            r.Gensor.Optimizer.states_explored
+            + r.Gensor.Optimizer.candidates_evaluated;
+          tree_steps = 0;
+          measure_trials = 0;
+          wall_s = r.Gensor.Optimizer.wall_time_s }) }
+
+(* Table VI ablations. *)
+let gensor_without_vthread () =
+  gensor
+    ~config:(Gensor.Optimizer.without_vthread Gensor.Optimizer.default_config)
+    ~name:"Gensor w/o vThread" ()
+
+let gensor_tree_only () =
+  gensor
+    ~config:(Gensor.Optimizer.tree_only Gensor.Optimizer.default_config)
+    ~name:"Gensor (tree mode)" ()
+
+let roller () =
+  { name = "Roller";
+    compile =
+      (fun ~hw op ->
+        let r = Roller.construct ~hw (Ops.Op.compute op) in
+        { etir = r.Roller.etir;
+          metrics = r.Roller.metrics;
+          analysis_steps = 0;
+          tree_steps = r.Roller.candidates_examined;
+          measure_trials = 0;
+          wall_s = r.Roller.wall_time_s }) }
+
+let ansor ?(n_trials = Ansor.Search.default_config.Ansor.Search.n_trials) () =
+  { name = "Ansor";
+    compile =
+      (fun ~hw op ->
+        let config = { Ansor.Search.default_config with n_trials } in
+        let r = Ansor.Search.search ~config ~hw (Ops.Op.compute op) in
+        { etir = r.Ansor.Search.etir;
+          metrics = r.Ansor.Search.metrics;
+          analysis_steps = 0;
+          tree_steps = 0;
+          measure_trials = r.Ansor.Search.trials;
+          wall_s = r.Ansor.Search.wall_time_s }) }
+
+let cublas () =
+  { name = "cuBLAS";
+    compile =
+      (fun ~hw op ->
+        let r = Vendor.Cublas.compile ~hw op in
+        { etir = r.Vendor.Cublas.etir;
+          metrics = r.Vendor.Cublas.metrics;
+          analysis_steps = 0;
+          tree_steps = 0;
+          measure_trials = 0;
+          wall_s = r.Vendor.Cublas.wall_time_s }) }
+
+(* The standard comparison set of §V-A. *)
+let standard () = [ cublas (); ansor (); roller (); gensor () ]

@@ -1,0 +1,31 @@
+(** Uniform interface over the compared compilation methods. *)
+
+type output = {
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+  analysis_steps : int;
+  tree_steps : int;
+  measure_trials : int;
+  wall_s : float;
+}
+
+type t = {
+  name : string;
+  compile : hw:Hardware.Gpu_spec.t -> Ops.Op.t -> output;
+}
+
+(** Simulated optimisation time of one compile (see {!Sim_time}). *)
+val simulated_opt_time : output -> float
+
+val gensor : ?config:Gensor.Optimizer.config -> ?name:string -> unit -> t
+
+(** Table VI ablations. *)
+
+val gensor_without_vthread : unit -> t
+val gensor_tree_only : unit -> t
+val roller : unit -> t
+val ansor : ?n_trials:int -> unit -> t
+val cublas : unit -> t
+
+(** cuBLAS, Ansor, Roller, Gensor — the §V-A comparison set. *)
+val standard : unit -> t list

@@ -1,0 +1,34 @@
+(* Paper-vs-measured comparison records.
+
+   Every experiment prints, next to its measured quantities, the paper's
+   reported value where one exists; EXPERIMENTS.md is generated from the
+   same records. *)
+
+type t = {
+  experiment : string;   (* e.g. "fig6" *)
+  quantity : string;     (* e.g. "Gensor/Roller average speedup" *)
+  paper : float option;  (* None when the paper gives no number *)
+  measured : float;
+  unit_ : string;
+}
+
+let v ~experiment ~quantity ?paper ~measured ~unit_ () =
+  { experiment; quantity; paper; measured; unit_ }
+
+let deviation t =
+  Option.map
+    (fun paper -> if paper = 0.0 then nan else (t.measured -. paper) /. paper)
+    t.paper
+
+let to_row t =
+  [ t.experiment; t.quantity;
+    (match t.paper with Some p -> Fmt.str "%.3g" p | None -> "-");
+    Fmt.str "%.3g" t.measured; t.unit_;
+    (match deviation t with
+    | Some d when not (Float.is_nan d) -> Fmt.str "%+.0f%%" (100. *. d)
+    | Some _ | None -> "-") ]
+
+let headers = [ "exp"; "quantity"; "paper"; "measured"; "unit"; "dev" ]
+
+let print_all comparisons =
+  Table.print (Table.v ~headers (List.map to_row comparisons))

@@ -1,0 +1,25 @@
+(** Paper-vs-measured comparison records (the EXPERIMENTS.md backbone). *)
+
+type t = {
+  experiment : string;
+  quantity : string;
+  paper : float option;
+  measured : float;
+  unit_ : string;
+}
+
+val v :
+  experiment:string ->
+  quantity:string ->
+  ?paper:float ->
+  measured:float ->
+  unit_:string ->
+  unit ->
+  t
+
+(** Relative deviation from the paper's value, when one exists. *)
+val deviation : t -> float option
+
+val to_row : t -> string list
+val headers : string list
+val print_all : t list -> unit

@@ -1,0 +1,40 @@
+(* Minimal ASCII table rendering for the bench harness. *)
+
+type t = { headers : string list; rows : string list list }
+
+let v ~headers rows =
+  let width = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row <> width then
+        invalid_arg "Table.v: row width does not match headers")
+    rows;
+  { headers; rows }
+
+let widths t =
+  let init = List.map String.length t.headers in
+  List.fold_left
+    (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+    init t.rows
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let render t =
+  let ws = widths t in
+  let line cells =
+    "| " ^ String.concat " | " (List.map2 pad ws cells) ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') ws)
+    ^ "+"
+  in
+  String.concat "\n"
+    ([ sep; line t.headers; sep ] @ List.map line t.rows @ [ sep ])
+
+let print t = print_endline (render t)
+
+(* Cell formatting helpers. *)
+let fx2 v = Fmt.str "%.2f" v
+let fx3 v = Fmt.str "%.3f" v
+let pct v = Fmt.str "%.1f%%" (100. *. v)
+let rel v = Fmt.str "%.2fx" v

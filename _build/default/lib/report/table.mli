@@ -1,0 +1,16 @@
+(** Minimal ASCII table rendering. *)
+
+type t
+
+(** Raises [Invalid_argument] when a row's width differs from the headers. *)
+val v : headers:string list -> string list list -> t
+
+val render : t -> string
+val print : t -> unit
+
+(** Cell formatting helpers: 2/3 decimals, percentage, relative factor. *)
+
+val fx2 : float -> string
+val fx3 : float -> string
+val pct : float -> string
+val rel : float -> string

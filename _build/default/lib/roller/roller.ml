@@ -1,0 +1,268 @@
+(* Tree-based construction baseline, modelled on Roller (OSDI'22).
+
+   Roller constructs tensor programs by growing hardware-aligned rTiles
+   level by level, greedily maximising a single objective — the memory-reuse
+   ratio — and never backtracking.  This is exactly the structure the paper
+   criticises (Fig. 1): a unidirectional tree whose traversal order follows
+   one objective, so configurations with better *overall* performance (bank
+   conflicts, occupancy, wave tails) are never visited.
+
+   The per-step reuse objective is the same Eq. 1 ratio Gensor uses for its
+   tiling transitions, which makes the comparison sharp: the only differences
+   are greedy-vs-stochastic traversal, the absence of inverse tiling, the
+   absence of virtual threads, and the absence of a final multi-objective
+   selection over sampled states. *)
+
+open Sched
+
+type result = {
+  etir : Etir.t;
+  metrics : Costmodel.Metrics.t;
+  candidates_examined : int;  (* grow candidates scored during construction *)
+  wall_time_s : float;
+}
+
+(* Grow actions available at [level], in a fixed deterministic order. *)
+let grow_candidates etir ~level =
+  let spatial =
+    List.map
+      (fun dim -> Action.Tile { level; dim; dir = Action.Grow })
+      (List.init (Etir.num_spatial etir) Fun.id)
+  in
+  let reduce =
+    List.map
+      (fun dim -> Action.Rtile { level; dim; dir = Action.Grow })
+      (List.init (Etir.num_reduce etir) Fun.id)
+  in
+  spatial @ reduce
+
+(* One greedy scale-up pass at a memory level: repeatedly take the legal grow
+   that most reduces this level's memory traffic, until no grow reduces it.
+   This is the single objective — nothing about conflicts, occupancy or
+   instruction-level parallelism enters the decision. *)
+let scale_up ~hw ~examined ~reg_budget_scale etir ~level =
+  (* Roller sizes register rTiles for a target occupancy: the per-thread
+     budget is the register file divided by the thread capacity, scaled by
+     the candidate's occupancy choice.  This is its hardware-alignment rule;
+     it also means Roller never explores beyond these canonical corners the
+     way Gensor's graph can. *)
+  let reg_budget =
+    Hardware.Gpu_spec.registers_per_sm hw * 4 * reg_budget_scale
+    / Hardware.Gpu_spec.max_threads_per_sm hw
+  in
+  (* Alignment to the processor array: never shrink the launch's total
+     logical parallelism below two warps per SM by over-growing thread
+     tiles. *)
+  let thread_floor = Hardware.Gpu_spec.sm_count hw * 64 in
+  let total_threads next =
+    let sext = Etir.spatial_extents next in
+    let acc = ref 1 in
+    Array.iteri
+      (fun dim ext ->
+        acc := !acc * ((ext + Etir.stile next ~level:0 ~dim - 1)
+                       / Etir.stile next ~level:0 ~dim))
+      sext;
+    !acc
+  in
+  let aligned next =
+    level > 0
+    || (Costmodel.Footprint.bytes_at next ~level:0 <= reg_budget
+       && total_threads next >= min thread_floor (total_threads etir))
+  in
+  let rec step etir =
+    let q = Costmodel.Traffic.bytes_into etir ~level in
+    let scored =
+      List.filter_map
+        (fun action ->
+          match Action.apply etir action with
+          | None -> None
+          | Some next ->
+            incr examined;
+            if not (Costmodel.Mem_check.ok_capacity next ~hw && aligned next)
+            then None
+            else begin
+              let q' = Costmodel.Traffic.bytes_into next ~level in
+              if q' < q *. 0.999 then Some (q', next) else None
+            end)
+        (grow_candidates etir ~level)
+    in
+    match scored with
+    | [] -> etir
+    | first :: rest ->
+      let _, best =
+        List.fold_left
+          (fun (bq, be) (q', e) -> if q' < bq then (q', e) else (bq, be))
+          first rest
+      in
+      step best
+  in
+  step etir
+
+(* Reduce-axis tiles do not change the traffic objective, so the greedy pass
+   leaves them at 1.  Roller instead aligns them to fixed hardware-friendly
+   strides (memory-transaction alignment): a small per-thread unroll chunk
+   and a warp-width staging tile in shared memory. *)
+let align_reduce_tiles ~hw etir =
+  (* Top-down: outer levels first, because a level's tile caps the level
+     below it. *)
+  let targets = [ (2, 32); (1, 32); (0, 4) ] in
+  List.fold_left
+    (fun etir (level, target) ->
+      let rec grow etir dim =
+        if Etir.rtile etir ~level ~dim >= target then etir
+        else
+          match Action.apply etir (Action.Rtile { level; dim; dir = Action.Grow }) with
+          | Some next when Costmodel.Mem_check.ok_capacity next ~hw -> grow next dim
+          | Some _ | None -> etir
+      in
+      let rec each etir dim =
+        if dim >= Etir.num_reduce etir then etir else each (grow etir dim) (dim + 1)
+      in
+      each etir 0)
+    etir targets
+
+(* Processor-unit alignment: Roller insists the launch covers every SM and
+   each block holds at least four warps — its "align rTiles to the
+   processing units" rule.  Reuse-greedy scale-up overshoots block and
+   thread tiles on traffic-flat operators (GEMV, pooling); this pass trades
+   the excess reuse back for parallelism. *)
+let align_processors ~hw ~warp_target etir =
+  let sm_count = Hardware.Gpu_spec.sm_count hw in
+  let warp_target = warp_target * Hardware.Gpu_spec.warp_size hw in
+  let widest_dim etir ~level =
+    let best = ref None in
+    for dim = 0 to Etir.num_spatial etir - 1 do
+      let size = Etir.stile_eff etir ~level ~dim in
+      match !best with
+      | Some (s, _) when s >= size -> ()
+      | Some _ | None -> if size > 1 then best := Some (size, dim)
+    done;
+    Option.map snd !best
+  in
+  (* 1: grow block tiles until a block holds four warps.  The thread tile is
+     never shrunk — register reuse is the construction's objective and the
+     tree cannot back out of it. *)
+  let narrowest_dim etir =
+    let best = ref None in
+    for dim = 0 to Etir.num_spatial etir - 1 do
+      let size = Etir.stile_eff etir ~level:1 ~dim in
+      if size < (Etir.spatial_extents etir).(dim) then
+        match !best with
+        | Some (s, _) when s <= size -> ()
+        | Some _ | None -> best := Some (size, dim)
+    done;
+    Option.map snd !best
+  in
+  let rec warps etir guard =
+    if guard = 0 || Etir.threads_per_block etir >= warp_target then etir
+    else
+      match narrowest_dim etir with
+      | None -> etir
+      | Some dim -> (
+        match Action.apply etir (Action.Tile { level = 1; dim; dir = Action.Grow }) with
+        | Some next when Costmodel.Mem_check.ok_capacity next ~hw ->
+          warps next (guard - 1)
+        | Some _ | None -> etir)
+  in
+  (* 2: shrink block tiles toward SM coverage, but never below the warp
+     target. *)
+  let rec cover etir guard =
+    if guard = 0 || Etir.grid_blocks etir >= sm_count then etir
+    else
+      match widest_dim etir ~level:1 with
+      | None -> etir
+      | Some dim -> (
+        match Action.apply etir (Action.Tile { level = 1; dim; dir = Action.Shrink }) with
+        | Some next when Etir.threads_per_block next >= warp_target ->
+          cover next (guard - 1)
+        | Some _ | None -> etir)
+  in
+  cover (warps etir 64) 64
+
+(* Shrink the widest block-tile dimension until the launch fits; Roller's
+   alignment repair for the thread-per-block limit. *)
+let repair_launch ~hw etir =
+  let rec fix etir guard =
+    if guard = 0 || Costmodel.Mem_check.ok etir ~hw then etir
+    else begin
+      let widest = ref 0 in
+      for dim = 1 to Etir.num_spatial etir - 1 do
+        if
+          Etir.physical_threads_dim etir dim
+          > Etir.physical_threads_dim etir !widest
+        then widest := dim
+      done;
+      match
+        Action.apply etir (Action.Tile { level = 1; dim = !widest; dir = Action.Shrink })
+      with
+      | Some next -> fix next (guard - 1)
+      | None -> (
+        (* Cannot shrink the block further: grow the thread tile instead. *)
+        match
+          Action.apply etir
+            (Action.Tile { level = 0; dim = !widest; dir = Action.Grow })
+        with
+        | Some next -> fix next (guard - 1)
+        | None -> etir)
+    end
+  in
+  fix etir 64
+
+let construct_one ~hw ~examined ~reg_budget_scale ~warp_target ~reduce_first
+    compute =
+  let levels = Hardware.Gpu_spec.schedulable_cache_levels hw in
+  let rec descend etir level =
+    let etir = scale_up ~hw ~examined ~reg_budget_scale etir ~level in
+    if level = 0 then etir
+    else descend (Etir.with_cur_level etir (level - 1)) (level - 1)
+  in
+  (* Aligning reduce staging tiles before the spatial scale-up makes the
+     capacity checks see realistic footprints (good for reduction-heavy
+     GEMMs); aligning after favours wide spatial tiles (good for convs).
+     Both orderings are members of the candidate set. *)
+  let etir = Etir.create ~num_levels:levels compute in
+  let etir =
+    if reduce_first then descend (align_reduce_tiles ~hw etir) levels
+    else align_reduce_tiles ~hw (descend etir levels)
+  in
+  let etir = align_processors ~hw ~warp_target etir in
+  repair_launch ~hw etir
+
+(* Roller constructs a small set of top candidates (varying its alignment
+   choices: per-thread register budget and warps per block), then evaluates
+   each — the original system's "top-K rTile programs micro-benchmarked on
+   the device" step, with the performance model standing in for the
+   device. *)
+let construct ?(knobs = Costmodel.Model.default_knobs) ~hw compute =
+  let start = Unix.gettimeofday () in
+  let examined = ref 0 in
+  let candidates =
+    List.concat_map
+      (fun reg_budget_scale ->
+        List.concat_map
+          (fun warp_target ->
+            List.map
+              (fun reduce_first ->
+                construct_one ~hw ~examined ~reg_budget_scale ~warp_target
+                  ~reduce_first compute)
+              [ false; true ])
+          [ 2; 4; 8 ])
+      [ 1; 2; 4 ]
+  in
+  let scored =
+    List.map
+      (fun etir -> (etir, Costmodel.Model.evaluate ~knobs ~hw etir))
+      candidates
+  in
+  let etir, metrics =
+    match scored with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun (be, bm) (e, m) ->
+          if Costmodel.Metrics.score m > Costmodel.Metrics.score bm then (e, m)
+          else (be, bm))
+        first rest
+  in
+  { etir; metrics; candidates_examined = !examined;
+    wall_time_s = Unix.gettimeofday () -. start }

@@ -1,0 +1,18 @@
+(** Tree-based construction baseline (Roller, OSDI'22).
+
+    Greedy single-objective (memory-reuse) rTile scale-up, level by level,
+    no backtracking, no virtual threads — the structure the paper's Fig. 1
+    criticises. *)
+
+type result = {
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+  candidates_examined : int;
+  wall_time_s : float;
+}
+
+val construct :
+  ?knobs:Costmodel.Model.knobs ->
+  hw:Hardware.Gpu_spec.t ->
+  Tensor_lang.Compute.t ->
+  result

@@ -1,0 +1,1 @@
+lib/sched/action.ml: Array Etir Fmt Fun List Option

@@ -1,0 +1,1 @@
+lib/sched/action.mli: Etir Fmt

@@ -1,0 +1,1 @@
+lib/sched/etir.ml: Array Axis Compute Fmt Interval List Result String Tensor_lang

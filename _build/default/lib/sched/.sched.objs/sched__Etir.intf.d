@@ -1,0 +1,1 @@
+lib/sched/etir.mli: Axis Compute Fmt Interval Tensor_lang

@@ -1,0 +1,1 @@
+lib/sched/rng.ml: Array Float Int64 List

@@ -1,0 +1,131 @@
+(* Scheduling primitives — the edges of the construction graph (paper §IV-A,
+   "Actions").
+
+   Tiling grows or shrinks one dimension's tile at the level currently being
+   scheduled (Fig. 5a); the shrink direction is the paper's inverse-tiling
+   action that makes same-level states mutually reachable (§IV-D
+   irreducibility).  [Cache] switches scheduling to the next faster memory
+   level (Fig. 5b).  [Set_vthread] adjusts the virtual-thread count of a
+   spatial dimension (Fig. 5c). *)
+
+type dir = Grow | Shrink
+
+type t =
+  | Tile of { level : int; dim : int; dir : dir }
+  | Rtile of { level : int; dim : int; dir : dir }
+  | Cache
+  | Set_vthread of { dim : int; dir : dir }
+
+let dir_to_string = function Grow -> "+" | Shrink -> "-"
+
+let to_string = function
+  | Tile { level; dim; dir } -> Fmt.str "tile%s(l%d,d%d)" (dir_to_string dir) level dim
+  | Rtile { level; dim; dir } ->
+    Fmt.str "rtile%s(l%d,r%d)" (dir_to_string dir) level dim
+  | Cache -> "cache"
+  | Set_vthread { dim; dir } -> Fmt.str "vthread%s(d%d)" (dir_to_string dir) dim
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* Doubling with an extent cap: tiles take values 1, 2, 4, ..., extent. *)
+let grow_size size extent = if size >= extent then None else Some (min (size * 2) extent)
+let shrink_size size = if size <= 1 then None else Some (size / 2)
+
+let apply etir action =
+  match action with
+  | Tile { level; dim; dir } ->
+    if level < 0 || level > Etir.num_levels etir then None
+    else if dim < 0 || dim >= Etir.num_spatial etir then None
+    else begin
+      let size = Etir.stile etir ~level ~dim in
+      let extent = (Etir.spatial_extents etir).(dim) in
+      let next =
+        match dir with
+        | Grow -> grow_size size extent
+        | Shrink ->
+          (* At level 0 the tile must stay wide enough for the configured
+             vthread stripes. *)
+          let floor_ = if level = 0 then Etir.vthread etir ~dim else 1 in
+          Option.bind (shrink_size size) (fun s ->
+              if s >= floor_ then Some s else None)
+      in
+      Option.map (fun s -> Etir.with_stile etir ~level ~dim s) next
+    end
+  | Rtile { level; dim; dir } ->
+    if level < 0 || level > Etir.num_levels etir then None
+    else if dim < 0 || dim >= Etir.num_reduce etir then None
+    else begin
+      let size = Etir.rtile etir ~level ~dim in
+      let extent = (Etir.reduce_extents etir).(dim) in
+      let next =
+        match dir with
+        | Grow -> grow_size size extent
+        | Shrink -> shrink_size size
+      in
+      Option.map (fun s -> Etir.with_rtile etir ~level ~dim s) next
+    end
+  | Cache ->
+    let level = Etir.cur_level etir in
+    if level <= 0 then None else Some (Etir.with_cur_level etir (level - 1))
+  | Set_vthread { dim; dir } ->
+    if dim < 0 || dim >= Etir.num_spatial etir then None
+    else begin
+      let v = Etir.vthread etir ~dim in
+      match dir with
+      | Grow ->
+        (* Virtual threads interleave stripes of the per-thread tile; the
+           stripe width cannot go below one element. *)
+        let thread_tile = Etir.stile etir ~level:0 ~dim in
+        if v * 2 <= thread_tile then Some (Etir.with_vthread etir ~dim (v * 2))
+        else None
+      | Shrink -> if v <= 1 then None else Some (Etir.with_vthread etir ~dim (v / 2))
+    end
+
+(* All syntactically plausible actions from a state: tiling (both
+   directions) of every dimension at the level being scheduled and at every
+   already-scheduled (outer) level — scheduled levels stay adjustable, the
+   backtracking flexibility of the graph — plus the cache switch and vthread
+   adjustments.  Legality is decided by [apply]. *)
+let candidates etir =
+  let levels =
+    List.init
+      (Etir.num_levels etir - Etir.cur_level etir + 1)
+      (fun i -> Etir.cur_level etir + i)
+  in
+  let spatial =
+    List.concat_map
+      (fun level ->
+        List.concat_map
+          (fun dim ->
+            [ Tile { level; dim; dir = Grow };
+              Tile { level; dim; dir = Shrink } ])
+          (List.init (Etir.num_spatial etir) Fun.id))
+      levels
+  in
+  let reduce =
+    List.concat_map
+      (fun level ->
+        List.concat_map
+          (fun dim ->
+            [ Rtile { level; dim; dir = Grow };
+              Rtile { level; dim; dir = Shrink } ])
+          (List.init (Etir.num_reduce etir) Fun.id))
+      levels
+  in
+  let vthreads =
+    List.concat_map
+      (fun dim ->
+        [ Set_vthread { dim; dir = Grow }; Set_vthread { dim; dir = Shrink } ])
+      (List.init (Etir.num_spatial etir) Fun.id)
+  in
+  spatial @ reduce @ vthreads @ [ Cache ]
+
+(* Legal (action, successor) pairs — the outgoing edges of the construction
+   graph at [etir]. *)
+let successors etir =
+  List.filter_map
+    (fun action ->
+      match apply etir action with
+      | Some next -> Some (action, next)
+      | None -> None)
+    (candidates etir)

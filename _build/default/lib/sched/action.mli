@@ -1,0 +1,29 @@
+(** Scheduling primitives: the edges of the construction graph.
+
+    [Tile]/[Rtile] grow or shrink one dimension's tile at a given memory
+    level (shrink is the paper's inverse tiling, giving same-level
+    irreducibility).  [Cache] switches scheduling to the next faster level.
+    [Set_vthread] adjusts a spatial dimension's virtual-thread count. *)
+
+type dir = Grow | Shrink
+
+type t =
+  | Tile of { level : int; dim : int; dir : dir }
+  | Rtile of { level : int; dim : int; dir : dir }
+  | Cache
+  | Set_vthread of { dim : int; dir : dir }
+
+val to_string : t -> string
+val pp : t Fmt.t
+
+(** [apply etir action] is the successor state, or [None] when the action is
+    illegal from [etir] (tile bounds, level monotonicity, vthread capacity,
+    no faster level left). *)
+val apply : Etir.t -> t -> Etir.t option
+
+(** All syntactically plausible actions from a state (legality decided by
+    {!apply}). *)
+val candidates : Etir.t -> t list
+
+(** Legal (action, successor) pairs: the outgoing edges at [etir]. *)
+val successors : Etir.t -> (t * Etir.t) list

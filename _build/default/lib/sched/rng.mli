@@ -1,0 +1,29 @@
+(** Deterministic splitmix64 pseudo-random source.
+
+    All stochastic components of the repository draw from this type so every
+    experiment is reproducible from an explicit seed. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** [int t bound] is uniform in [0, bound); raises on [bound <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform element of a non-empty list. *)
+val choice : t -> 'a list -> 'a
+
+(** Fitness-proportional (roulette) selection over non-negative weights — the
+    selection rule of paper Algorithm 2.  Uniform fallback when all weights
+    are zero; raises on negative or NaN weights. *)
+val roulette : t -> float array -> int
+
+(** Derive an independent deterministic stream. *)
+val split : t -> t

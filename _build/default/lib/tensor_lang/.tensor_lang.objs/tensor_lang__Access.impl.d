@@ -1,0 +1,1 @@
+lib/tensor_lang/access.ml: Fmt Index Interval List

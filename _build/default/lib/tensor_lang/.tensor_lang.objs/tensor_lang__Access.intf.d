@@ -1,0 +1,1 @@
+lib/tensor_lang/access.mli: Fmt Index Interval

@@ -1,0 +1,1 @@
+lib/tensor_lang/axis.ml: Fmt

@@ -1,0 +1,1 @@
+lib/tensor_lang/compute.ml: Access Axis Dtype Expr Fmt Interval List

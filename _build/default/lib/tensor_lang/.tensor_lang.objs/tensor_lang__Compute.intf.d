@@ -1,0 +1,1 @@
+lib/tensor_lang/compute.mli: Axis Dtype Expr Fmt

@@ -1,0 +1,1 @@
+lib/tensor_lang/dtype.mli: Fmt

@@ -1,0 +1,1 @@
+lib/tensor_lang/expr.ml: Access Float Fmt Index List

@@ -1,0 +1,1 @@
+lib/tensor_lang/expr.mli: Access Fmt Index

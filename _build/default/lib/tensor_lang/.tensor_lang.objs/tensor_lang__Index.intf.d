@@ -1,0 +1,1 @@
+lib/tensor_lang/index.mli: Fmt

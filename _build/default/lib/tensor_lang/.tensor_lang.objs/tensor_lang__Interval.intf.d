@@ -1,0 +1,1 @@
+lib/tensor_lang/interval.mli: Fmt Index

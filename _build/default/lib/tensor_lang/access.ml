@@ -1,0 +1,27 @@
+type t = { tensor : string; indices : Index.t list }
+
+let v tensor indices =
+  if tensor = "" then invalid_arg "Access.v: empty tensor name";
+  if indices = [] then invalid_arg "Access.v: scalar access needs [Const 0]";
+  { tensor; indices }
+
+let tensor t = t.tensor
+let indices t = t.indices
+let rank t = List.length t.indices
+
+let vars t =
+  let add_unique acc name = if List.mem name acc then acc else name :: acc in
+  List.rev
+    (List.fold_left (fun acc i -> Index.fold_vars add_unique acc i) [] t.indices)
+
+(* Bounding box of the element coordinates touched when each loop variable
+   ranges over [env]: one interval per tensor dimension. *)
+let region ~env t = List.map (Interval.of_index ~env) t.indices
+
+(* Upper bound on the number of distinct elements touched: the product of the
+   per-dimension bounding-interval extents. *)
+let footprint_elems ~env t =
+  List.fold_left (fun acc iv -> acc * Interval.extent iv) 1 (region ~env t)
+
+let pp ppf t =
+  Fmt.pf ppf "%s[%a]" t.tensor Fmt.(list ~sep:(any "][") Index.pp) t.indices

@@ -1,0 +1,25 @@
+(** A read of one tensor at index-expression coordinates, e.g.
+    [I\[n\]\[c\]\[s*x+i\]\[s*y+j\]]. *)
+
+type t
+
+(** [v tensor indices] builds an access; raises [Invalid_argument] on an empty
+    name or index list. *)
+val v : string -> Index.t list -> t
+
+val tensor : t -> string
+val indices : t -> Index.t list
+val rank : t -> int
+
+(** Loop variables appearing in the access, first-occurrence order. *)
+val vars : t -> string list
+
+(** [region ~env t] is the per-dimension bounding interval of coordinates
+    touched when loop variables range over [env]. *)
+val region : env:(string -> Interval.t) -> t -> Interval.t list
+
+(** Upper bound on distinct elements touched over [env] — the access's tile
+    footprint used by the cost model. *)
+val footprint_elems : env:(string -> Interval.t) -> t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,24 @@
+type kind = Spatial | Reduce
+
+type t = { name : string; extent : int; kind : kind }
+
+let v ?(kind = Spatial) name extent =
+  if extent <= 0 then invalid_arg "Axis.v: extent <= 0";
+  if name = "" then invalid_arg "Axis.v: empty name";
+  { name; extent; kind }
+
+let spatial name extent = v ~kind:Spatial name extent
+let reduce name extent = v ~kind:Reduce name extent
+
+let name t = t.name
+let extent t = t.extent
+let kind t = t.kind
+let is_spatial t = t.kind = Spatial
+let is_reduce t = t.kind = Reduce
+let with_extent t extent = v ~kind:t.kind t.name extent
+
+let equal a b = a.name = b.name && a.extent = b.extent && a.kind = b.kind
+
+let pp ppf t =
+  Fmt.pf ppf "%s%s:%d" t.name (match t.kind with Spatial -> "" | Reduce -> "~")
+    t.extent

@@ -1,0 +1,26 @@
+(** Iteration axes of a compute definition.
+
+    Spatial axes index the output tensor; reduce axes are summed (or
+    max-reduced) away.  The paper's ETIR keeps "spacial and reduce axis"
+    explicitly (its [Axis axis] field); this is that type. *)
+
+type kind = Spatial | Reduce
+type t
+
+(** [v name extent] builds an axis; extent must be positive and the name
+    non-empty, else [Invalid_argument]. *)
+val v : ?kind:kind -> string -> int -> t
+
+val spatial : string -> int -> t
+val reduce : string -> int -> t
+val name : t -> string
+val extent : t -> int
+val kind : t -> kind
+val is_spatial : t -> bool
+val is_reduce : t -> bool
+
+(** Same axis with a different extent (for dynamic shapes). *)
+val with_extent : t -> int -> t
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

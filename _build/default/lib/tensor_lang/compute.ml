@@ -1,0 +1,127 @@
+(* A single-output compute definition: an iteration domain (spatial + reduce
+   axes), input tensor declarations, and a scalar body combined across the
+   reduce axes.  This is the "tensor program" the whole repository schedules:
+   ETIR states wrap a [Compute.t] plus a tiling/vthread configuration.
+
+   The output tensor is indexed by the spatial axes in declaration order, so
+   [output_shape] is the spatial extents.  [scale] is an epilogue multiplier
+   applied after reduction (e.g. 1/F^2 for average pooling). *)
+
+type combine = Sum | Max_combine
+
+type input = { in_name : string; in_shape : int list; in_dtype : Dtype.t }
+
+type t = {
+  name : string;
+  axes : Axis.t list;
+  inputs : input list;
+  out_name : string;
+  out_dtype : Dtype.t;
+  init : float;
+  body : Expr.t;
+  combine : combine;
+  scale : float;
+}
+
+let check_body_well_formed ~axes ~inputs ~body =
+  let axis_names = List.map Axis.name axes in
+  let find_input name =
+    List.find_opt (fun input -> input.in_name = name) inputs
+  in
+  let full_env name =
+    match List.find_opt (fun ax -> Axis.name ax = name) axes with
+    | Some ax -> Interval.v 0 (Axis.extent ax - 1)
+    | None -> invalid_arg (Fmt.str "Compute.v: unbound variable %s in body" name)
+  in
+  let check_access access =
+    List.iter
+      (fun var ->
+        if not (List.mem var axis_names) then
+          invalid_arg
+            (Fmt.str "Compute.v: access %a uses unbound variable %s" Access.pp
+               access var))
+      (Access.vars access);
+    match find_input (Access.tensor access) with
+    | None ->
+      invalid_arg
+        (Fmt.str "Compute.v: access to undeclared tensor %s"
+           (Access.tensor access))
+    | Some input ->
+      if Access.rank access <> List.length input.in_shape then
+        invalid_arg
+          (Fmt.str "Compute.v: access %a has rank %d, tensor has rank %d"
+             Access.pp access (Access.rank access)
+             (List.length input.in_shape));
+      (* The whole iteration domain must stay inside the declared shape. *)
+      List.iter2
+        (fun iv dim ->
+          if Interval.lo iv < 0 || Interval.hi iv >= dim then
+            invalid_arg
+              (Fmt.str "Compute.v: access %a exceeds bound %d (region %a)"
+                 Access.pp access dim Interval.pp iv))
+        (Access.region ~env:full_env access)
+        input.in_shape
+  in
+  List.iter check_access (Expr.accesses body)
+
+let v ~name ~axes ~inputs ~out_name ?(out_dtype = Dtype.F32) ?(init = 0.0)
+    ?(combine = Sum) ?(scale = 1.0) ~body () =
+  if axes = [] then invalid_arg "Compute.v: no axes";
+  if not (List.exists Axis.is_spatial axes) then
+    invalid_arg "Compute.v: need at least one spatial axis";
+  let names = List.map Axis.name axes in
+  let distinct = List.sort_uniq compare names in
+  if List.length distinct <> List.length names then
+    invalid_arg "Compute.v: duplicate axis names";
+  check_body_well_formed ~axes ~inputs ~body;
+  { name; axes; inputs; out_name; out_dtype; init; body; combine; scale }
+
+let name t = t.name
+let axes t = t.axes
+let inputs t = t.inputs
+let out_name t = t.out_name
+let out_dtype t = t.out_dtype
+let init t = t.init
+let body t = t.body
+let combine t = t.combine
+let scale t = t.scale
+
+let spatial_axes t = List.filter Axis.is_spatial t.axes
+let reduce_axes t = List.filter Axis.is_reduce t.axes
+let output_shape t = List.map Axis.extent (spatial_axes t)
+
+let find_axis t axis_name =
+  List.find_opt (fun ax -> Axis.name ax = axis_name) t.axes
+
+let domain_points t =
+  List.fold_left (fun acc ax -> acc * Axis.extent ax) 1 t.axes
+
+(* Total floating-point work: each domain point evaluates the body and, when
+   there is a reduction, performs one combine.  Matches the 2MNK convention
+   for GEMM. *)
+let total_flops t =
+  let body_flops = Expr.flops t.body in
+  let combine_flops = if reduce_axes t = [] then 0 else 1 in
+  domain_points t * (body_flops + combine_flops)
+
+let input_bytes t =
+  List.fold_left
+    (fun acc input ->
+      acc
+      + List.fold_left ( * ) 1 input.in_shape * Dtype.size_bytes input.in_dtype)
+    0 t.inputs
+
+let output_bytes t =
+  List.fold_left ( * ) 1 (output_shape t) * Dtype.size_bytes t.out_dtype
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s: axes [%a]@,out %s%a = %s_{%a} %a%s@]" t.name
+    Fmt.(list ~sep:(any ", ") Axis.pp)
+    t.axes t.out_name
+    Fmt.(list ~sep:nop (brackets int))
+    (output_shape t)
+    (match t.combine with Sum -> "sum" | Max_combine -> "max")
+    Fmt.(list ~sep:(any ",") string)
+    (List.map Axis.name (reduce_axes t))
+    Expr.pp t.body
+    (if t.scale = 1.0 then "" else Fmt.str " * %g" t.scale)

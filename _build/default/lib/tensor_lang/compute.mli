@@ -1,0 +1,58 @@
+(** Compute definitions: the "tensor programs" being scheduled.
+
+    A compute definition is an iteration domain (spatial + reduce axes), a set
+    of input tensor declarations, and a scalar body whose values are combined
+    (summed or max-reduced) over the reduce axes into an output indexed by the
+    spatial axes in declaration order. *)
+
+type combine = Sum | Max_combine
+
+type input = { in_name : string; in_shape : int list; in_dtype : Dtype.t }
+type t
+
+(** [v ~name ~axes ~inputs ~out_name ~body ()] builds and validates a
+    definition.  Validation rejects: empty or duplicate axes, no spatial axis,
+    body variables that are not axes, accesses to undeclared tensors, rank
+    mismatches, and accesses whose bounding region (over the full iteration
+    domain) exceeds the declared tensor shape.  [scale] is an epilogue
+    multiplier applied after reduction (e.g. 1/F² for average pooling). *)
+val v :
+  name:string ->
+  axes:Axis.t list ->
+  inputs:input list ->
+  out_name:string ->
+  ?out_dtype:Dtype.t ->
+  ?init:float ->
+  ?combine:combine ->
+  ?scale:float ->
+  body:Expr.t ->
+  unit ->
+  t
+
+val name : t -> string
+val axes : t -> Axis.t list
+val inputs : t -> input list
+val out_name : t -> string
+val out_dtype : t -> Dtype.t
+val init : t -> float
+val body : t -> Expr.t
+val combine : t -> combine
+val scale : t -> float
+val spatial_axes : t -> Axis.t list
+val reduce_axes : t -> Axis.t list
+
+(** Extents of the spatial axes, i.e. the output tensor shape. *)
+val output_shape : t -> int list
+
+val find_axis : t -> string -> Axis.t option
+
+(** Product of all axis extents. *)
+val domain_points : t -> int
+
+(** Total FLOPs: domain points × (body FLOPs + 1 combine when reducing);
+    yields the usual 2·M·N·K for GEMM. *)
+val total_flops : t -> int
+
+val input_bytes : t -> int
+val output_bytes : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,18 @@
+type t = F16 | F32 | I8 | I32
+
+let size_bytes = function F16 -> 2 | F32 -> 4 | I8 -> 1 | I32 -> 4
+
+let to_string = function
+  | F16 -> "f16"
+  | F32 -> "f32"
+  | I8 -> "i8"
+  | I32 -> "i32"
+
+let c_name = function
+  | F16 -> "half"
+  | F32 -> "float"
+  | I8 -> "int8_t"
+  | I32 -> "int32_t"
+
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,12 @@
+(** Element datatypes of tensors. *)
+
+type t = F16 | F32 | I8 | I32
+
+val size_bytes : t -> int
+val to_string : t -> string
+
+(** CUDA C type name used by the code generator. *)
+val c_name : t -> string
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

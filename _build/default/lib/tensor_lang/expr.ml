@@ -1,0 +1,71 @@
+(* Scalar expressions forming the body of a compute definition. *)
+
+type t =
+  | Imm of float
+  | Read of Access.t
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Max of t * t
+  | Min of t * t
+
+let imm f = Imm f
+let read tensor indices = Read (Access.v tensor indices)
+let neg a = Neg a
+let add a b = Add (a, b)
+let sub a b = Sub (a, b)
+let mul a b = Mul (a, b)
+let div a b = Div (a, b)
+let max_ a b = Max (a, b)
+let min_ a b = Min (a, b)
+
+let rec eval ~read ~env t =
+  match t with
+  | Imm f -> f
+  | Read access ->
+    let coords =
+      List.map (fun idx -> Index.eval ~env idx) (Access.indices access)
+    in
+    read (Access.tensor access) coords
+  | Neg a -> -.eval ~read ~env a
+  | Add (a, b) -> eval ~read ~env a +. eval ~read ~env b
+  | Sub (a, b) -> eval ~read ~env a -. eval ~read ~env b
+  | Mul (a, b) -> eval ~read ~env a *. eval ~read ~env b
+  | Div (a, b) -> eval ~read ~env a /. eval ~read ~env b
+  | Max (a, b) -> Float.max (eval ~read ~env a) (eval ~read ~env b)
+  | Min (a, b) -> Float.min (eval ~read ~env a) (eval ~read ~env b)
+
+let rec fold_accesses f acc t =
+  match t with
+  | Imm _ -> acc
+  | Read access -> f acc access
+  | Neg a -> fold_accesses f acc a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b)
+    ->
+    fold_accesses f (fold_accesses f acc a) b
+
+let accesses t = List.rev (fold_accesses (fun acc a -> a :: acc) [] t)
+
+(* Number of floating-point operations per evaluation of the body.  Reads and
+   immediates are free; each arithmetic node costs one FLOP. *)
+let rec flops t =
+  match t with
+  | Imm _ | Read _ -> 0
+  | Neg a -> 1 + flops a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Max (a, b) | Min (a, b)
+    ->
+    1 + flops a + flops b
+
+let rec pp ppf t =
+  match t with
+  | Imm f -> Fmt.float ppf f
+  | Read access -> Access.pp ppf access
+  | Neg a -> Fmt.pf ppf "(-%a)" pp a
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+  | Max (a, b) -> Fmt.pf ppf "max(%a, %a)" pp a pp b
+  | Min (a, b) -> Fmt.pf ppf "min(%a, %a)" pp a pp b

@@ -1,0 +1,53 @@
+(** Integer index expressions over loop variables.
+
+    Index expressions are the coordinates of tensor accesses (e.g. the
+    [s*x + i] row coordinate of a strided convolution input read).  Smart
+    constructors constant-fold.  Division and modulo are floor-style and only
+    defined for positive divisors. *)
+
+type t =
+  | Var of string
+  | Const of int
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Min of t * t
+  | Max of t * t
+
+val var : string -> t
+val const : int -> t
+
+(** Constant-folding smart constructors. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+
+(** Floor division / modulo on plain integers ([n > 0]). *)
+
+val floordiv : int -> int -> int
+val floormod : int -> int -> int
+
+(** [eval ~env t] evaluates [t] with [env] giving each variable's value.
+    Raises [Invalid_argument] on a non-positive divisor. *)
+val eval : env:(string -> int) -> t -> int
+
+(** Variables occurring in [t], in first-occurrence order, without
+    duplicates. *)
+val vars : t -> string list
+
+(** Left fold over every variable occurrence. *)
+val fold_vars : ('a -> string -> 'a) -> 'a -> t -> 'a
+
+(** [subst ~bindings t] replaces variables by expressions, re-folding
+    constants. *)
+val subst : bindings:(string * t) list -> t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/vendor/cublas.ml: Array Costmodel Etir Fun Hardware List Ops Sched Unix

@@ -1,0 +1,1 @@
+lib/vendor/cublas.mli: Costmodel Hardware Ops Sched

@@ -1,0 +1,1 @@
+lib/vendor/dietcode.ml: Ansor Costmodel Etir Hardware List Sched Tensor_lang Unix

@@ -1,0 +1,1 @@
+lib/vendor/dietcode.mli: Costmodel Hardware Sched Tensor_lang

@@ -1,0 +1,1 @@
+lib/vendor/pytorch.ml: Costmodel Cublas List

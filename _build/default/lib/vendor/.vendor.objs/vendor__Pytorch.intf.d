@@ -1,0 +1,1 @@
+lib/vendor/pytorch.mli: Costmodel Hardware Ops

@@ -1,0 +1,163 @@
+(* Vendor-library oracle, modelled on cuBLAS/cuDNN dispatch.
+
+   A vendor library ships a small bank of hand-tuned kernel templates per
+   operator class and dispatches by shape.  Templates are conflict-free by
+   construction (real kernels pad and swizzle shared memory), which we model
+   by maximising the vthread interleave.  The bank is *fixed*: on balanced,
+   standard shapes some template fits almost perfectly; on heavily unbalanced
+   shapes (Table V) every template clamps badly — exactly the behaviour the
+   paper reports for cuBLAS. *)
+
+open Sched
+
+type result = {
+  etir : Etir.t;
+  metrics : Costmodel.Metrics.t;
+  templates_tried : int;
+  wall_time_s : float;
+}
+
+(* A template assigns (block tile, thread tile) to the two innermost spatial
+   dimensions and a reduce chain to the innermost reduce dimension; leading
+   (batch-like) spatial dimensions run one block row each. *)
+type template = {
+  t1_i : int; t1_j : int;   (* block tile on the two matrix-like dims *)
+  t0_i : int; t0_j : int;   (* thread tile *)
+  k1 : int;                 (* shared-memory reduce tile *)
+}
+
+(* Banks are generated as the cross product of canonical balanced choices —
+   the accumulation of years of hand tuning over *standard* shapes.  Every
+   entry is square-ish and power-of-two, which is exactly why the bank
+   misfits unbalanced shapes. *)
+let product thread_tiles block_tiles k1s =
+  List.concat_map
+    (fun (t0_i, t0_j) ->
+      List.concat_map
+        (fun (t1_i, t1_j) ->
+          List.filter_map
+            (fun k1 ->
+              if t0_i <= t1_i && t0_j <= t1_j then
+                Some { t1_i; t1_j; t0_i; t0_j; k1 }
+              else None)
+            k1s)
+        block_tiles)
+    thread_tiles
+
+let gemm_bank =
+  product
+    [ (8, 8); (8, 4); (4, 8); (4, 4); (16, 8); (2, 2) ]
+    [ (256, 128); (128, 256); (128, 128); (128, 64); (64, 128); (64, 64);
+      (256, 64); (32, 32) ]
+    [ 8; 16; 32 ]
+
+let conv_bank =
+  product
+    [ (8, 2); (8, 1); (4, 2); (4, 4); (2, 2); (1, 1) ]
+    [ (64, 16); (128, 8); (64, 8); (32, 16); (32, 8); (64, 32); (16, 16) ]
+    [ 8; 16; 32 ]
+
+let gemv_bank =
+  product
+    [ (1, 1); (2, 1); (4, 1); (8, 1) ]
+    [ (128, 1); (256, 1); (512, 1); (1024, 1) ]
+    [ 16; 32; 64; 128 ]
+
+let memory_bound_bank =
+  product
+    [ (1, 1); (2, 1); (4, 1) ]
+    [ (32, 8); (64, 4); (16, 16); (128, 2); (64, 8); (256, 1) ]
+    [ 2; 4 ]
+
+let bank_for (kind : Ops.Op.kind) =
+  match kind with
+  | Ops.Op.Gemm | Ops.Op.Batch_matmul -> gemm_bank
+  | Ops.Op.Conv2d -> conv_bank
+  | Ops.Op.Gemv -> gemv_bank
+  | Ops.Op.Depthwise_conv2d | Ops.Op.Avgpool2d | Ops.Op.Maxpool2d
+  | Ops.Op.Elementwise ->
+    memory_bound_bank
+
+let largest_pow2_le n =
+  let rec go p = if p * 2 <= n then go (p * 2) else p in
+  if n < 1 then 1 else go 1
+
+(* Instantiate a template on a compute definition.  The template's (i, j)
+   legs land on the two spatial dims with the largest extents (how a vendor
+   kernel views any operator as an implicit matrix); other spatial dims get
+   unit block rows.  Wave tiles give the L2 locality a tuned kernel's
+   rasterised launch order achieves. *)
+let instantiate etir0 template =
+  let n = Etir.num_spatial etir0 in
+  let sext = Etir.spatial_extents etir0 in
+  let rext = Etir.reduce_extents etir0 in
+  let etir = ref (Etir.with_cur_level etir0 0) in
+  let set dim t0 t1 =
+    let t0 = min t0 sext.(dim) and t1 = min t1 sext.(dim) in
+    let t0 = min t0 t1 in
+    etir := Etir.with_stile !etir ~level:0 ~dim t0;
+    etir := Etir.with_stile !etir ~level:1 ~dim t1;
+    etir := Etir.with_stile !etir ~level:2 ~dim (min (t1 * 4) sext.(dim));
+    (* Conflict-free emulation: interleave at the maximum legal vthread. *)
+    etir := Etir.with_vthread !etir ~dim (largest_pow2_le t0)
+  in
+  let by_extent =
+    List.sort
+      (fun a b -> compare (sext.(b), a) (sext.(a), b))
+      (List.init n Fun.id)
+  in
+  let dim_i, dim_j =
+    match by_extent with
+    | [ only ] -> (only, -1)
+    | first :: second :: _ -> (first, second)
+    | [] -> invalid_arg "Cublas.instantiate: no spatial dims"
+  in
+  for dim = 0 to n - 1 do
+    if dim = dim_i then set dim template.t0_i template.t1_i
+    else if dim = dim_j then set dim template.t0_j template.t1_j
+    else set dim 1 1
+  done;
+  for dim = 0 to Etir.num_reduce etir0 - 1 do
+    let k1 = min template.k1 rext.(dim) in
+    let k0 = min 4 k1 in
+    etir := Etir.with_rtile !etir ~level:0 ~dim k0;
+    etir := Etir.with_rtile !etir ~level:1 ~dim k1;
+    etir := Etir.with_rtile !etir ~level:2 ~dim (min (k1 * 8) rext.(dim))
+  done;
+  !etir
+
+let compile ?(knobs = Costmodel.Model.default_knobs) ~hw op =
+  let start = Unix.gettimeofday () in
+  let compute = Ops.Op.compute op in
+  let levels = Hardware.Gpu_spec.schedulable_cache_levels hw in
+  let etir0 = Etir.create ~num_levels:levels compute in
+  let bank = bank_for (Ops.Op.kind op) in
+  let candidates =
+    List.filter_map
+      (fun template ->
+        let etir = instantiate etir0 template in
+        if Costmodel.Mem_check.ok etir ~hw then
+          Some (etir, Costmodel.Model.evaluate ~knobs ~hw etir)
+        else None)
+      bank
+  in
+  let etir, _ =
+    match candidates with
+    | [] ->
+      (* Every template misfits: run the smallest one anyway, letting the
+         model charge its inefficiency. *)
+      let etir = instantiate etir0 { t1_i = 16; t1_j = 16; t0_i = 1; t0_j = 1; k1 = 4 } in
+      (etir, Costmodel.Model.evaluate ~knobs ~hw etir)
+    | first :: rest ->
+      List.fold_left
+        (fun (be, bm) (e, m) ->
+          if Costmodel.Metrics.score m > Costmodel.Metrics.score bm then (e, m)
+          else (be, bm))
+        first rest
+  in
+  (* Vendor kernels embed per-shape micro-tuning (rasterisation order,
+     wave-size heuristics) beyond the template grid; represent it by a short
+     local refinement of the dispatched template. *)
+  let etir, metrics, _ = Costmodel.Polish.greedy ~knobs ~budget:32 ~hw etir in
+  { etir; metrics; templates_tried = List.length bank;
+    wall_time_s = Unix.gettimeofday () -. start }

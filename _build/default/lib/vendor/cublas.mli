@@ -1,0 +1,15 @@
+(** Vendor-library oracle (cuBLAS/cuDNN-style fixed template bank).
+
+    Dispatches a small bank of hand-tuned, conflict-free templates by shape;
+    near-peak on balanced shapes, clamped and inefficient on unbalanced
+    ones (paper Table V discussion). *)
+
+type result = {
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+  templates_tried : int;
+  wall_time_s : float;
+}
+
+val compile :
+  ?knobs:Costmodel.Model.knobs -> hw:Hardware.Gpu_spec.t -> Ops.Op.t -> result

@@ -1,0 +1,90 @@
+(* Dynamic-shape baseline, modelled on DietCode (MLSys'22).
+
+   DietCode pre-tunes a bank of shape-generic micro-kernels on a few bucket
+   shapes and dispatches every runtime shape to the best bucket kernel,
+   instead of tuning each shape separately.  Tuning cost is paid once per
+   bucket; per-shape quality is whatever the nearest bucket's configuration
+   achieves after clamping — typically a bit below a per-shape optimiser
+   (the paper measures 83% of Gensor). *)
+
+open Sched
+
+type result = {
+  bucket_etirs : Etir.t list;
+  per_shape : (Tensor_lang.Compute.t * Etir.t * Costmodel.Metrics.t) list;
+  tuning_trials : int;
+  wall_time_s : float;
+}
+
+(* Pick [n] evenly spaced representatives of the shape family, ordered by
+   domain size. *)
+let pick_buckets ~n computes =
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare (Tensor_lang.Compute.domain_points a)
+          (Tensor_lang.Compute.domain_points b))
+      computes
+  in
+  let len = List.length sorted in
+  if len <= n then sorted
+  else
+    List.init n (fun i ->
+        let idx = i * (len - 1) / (max 1 (n - 1)) in
+        List.nth sorted idx)
+
+let tune ?(buckets = 3) ?(trials_per_bucket = 200) ?(seed = 42)
+    ?(knobs = Costmodel.Model.default_knobs) ~hw computes =
+  if computes = [] then invalid_arg "Dietcode.tune: empty shape family";
+  let start = Unix.gettimeofday () in
+  let reps = pick_buckets ~n:buckets computes in
+  let tuned =
+    List.mapi
+      (fun i compute ->
+        let config =
+          { Ansor.Search.default_config with
+            Ansor.Search.n_trials = trials_per_bucket; seed = seed + i }
+        in
+        Ansor.Search.search ~config ~knobs ~hw compute)
+      reps
+  in
+  let bucket_etirs = List.map (fun r -> r.Ansor.Search.etir) tuned in
+  let tuning_trials =
+    List.fold_left (fun acc r -> acc + r.Ansor.Search.trials) 0 tuned
+  in
+  (* Dispatch: each shape takes the bucket kernel that performs best on it
+     after retargeting. *)
+  let per_shape =
+    List.map
+      (fun compute ->
+        let candidates =
+          List.filter_map
+            (fun bucket ->
+              let etir = Etir.retarget bucket compute in
+              if Costmodel.Mem_check.ok etir ~hw then
+                Some (etir, Costmodel.Model.evaluate ~knobs ~hw etir)
+              else None)
+            bucket_etirs
+        in
+        match candidates with
+        | [] ->
+          let etir =
+            Etir.create
+              ~num_levels:(Hardware.Gpu_spec.schedulable_cache_levels hw)
+              compute
+          in
+          (compute, etir, Costmodel.Model.evaluate ~knobs ~hw etir)
+        | first :: rest ->
+          let etir, metrics =
+            List.fold_left
+              (fun (be, bm) (e, m) ->
+                if Costmodel.Metrics.score m > Costmodel.Metrics.score bm then
+                  (e, m)
+                else (be, bm))
+              first rest
+          in
+          (compute, etir, metrics))
+      computes
+  in
+  { bucket_etirs; per_shape; tuning_trials;
+    wall_time_s = Unix.gettimeofday () -. start }

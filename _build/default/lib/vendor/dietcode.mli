@@ -1,0 +1,22 @@
+(** Dynamic-shape baseline (DietCode, MLSys'22): pre-tuned bucket
+    micro-kernels dispatched over a shape family. *)
+
+type result = {
+  bucket_etirs : Sched.Etir.t list;
+  per_shape :
+    (Tensor_lang.Compute.t * Sched.Etir.t * Costmodel.Metrics.t) list;
+  tuning_trials : int;
+  wall_time_s : float;
+}
+
+(** [tune ~hw computes] tunes bucket kernels on representatives of the
+    family and dispatches every member.  Raises [Invalid_argument] on an
+    empty family. *)
+val tune :
+  ?buckets:int ->
+  ?trials_per_bucket:int ->
+  ?seed:int ->
+  ?knobs:Costmodel.Model.knobs ->
+  hw:Hardware.Gpu_spec.t ->
+  Tensor_lang.Compute.t list ->
+  result

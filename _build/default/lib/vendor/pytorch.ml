@@ -1,0 +1,23 @@
+(* Eager-framework execution model (the paper's "PyTorch official
+   implementation" bars in Figs. 9, 11, 12).
+
+   An eager framework runs every operator as a separate vendor-library call:
+   no cross-op tuning, per-op dispatch/launch overhead, and some kernel
+   inefficiency from layout conversions and non-fused epilogues.  The model
+   is deliberately simple — PyTorch only serves as the reference bar the
+   compiled methods are measured against. *)
+
+(* Dispatch + launch + framework bookkeeping per operator call. *)
+let per_op_overhead_s = 80e-6
+
+(* Extra kernel time relative to the dispatched vendor template (layout
+   conversions, unfused epilogues, fp32-only math paths). *)
+let eager_inefficiency = 1.5
+
+let op_time_s ?knobs ~hw op =
+  let vendor = Cublas.compile ?knobs ~hw op in
+  (vendor.Cublas.metrics.Costmodel.Metrics.exec_time_s *. eager_inefficiency)
+  +. per_op_overhead_s
+
+let ops_time_s ?knobs ~hw ops =
+  List.fold_left (fun acc op -> acc +. op_time_s ?knobs ~hw op) 0.0 ops

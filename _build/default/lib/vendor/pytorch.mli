@@ -1,0 +1,16 @@
+(** Eager-framework (PyTorch) execution model: per-op vendor kernels with
+    dispatch overhead and unfused-epilogue inefficiency. *)
+
+val per_op_overhead_s : float
+val eager_inefficiency : float
+
+(** Estimated eager execution time of one operator. *)
+val op_time_s :
+  ?knobs:Costmodel.Model.knobs -> hw:Hardware.Gpu_spec.t -> Ops.Op.t -> float
+
+(** Sum over an operator list (no fusion, each op dispatched separately). *)
+val ops_time_s :
+  ?knobs:Costmodel.Model.knobs ->
+  hw:Hardware.Gpu_spec.t ->
+  Ops.Op.t list ->
+  float

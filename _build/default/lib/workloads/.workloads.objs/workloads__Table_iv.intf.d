@@ -1,0 +1,1 @@
+lib/workloads/table_iv.mli: Ops

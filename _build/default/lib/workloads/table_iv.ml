@@ -1,0 +1,115 @@
+(* The operator benchmark suite (paper Table IV and §V-A).
+
+   The paper evaluates "a suite of 32 operator configurations with diverse
+   shapes" and prints a subset in Table IV.  Configurations C1-C3, M1-M3,
+   V1-V3 and P1-P3 below are copied from the table; the remaining entries
+   extend each class to eight configurations in the same spirit (standard
+   DNN layers plus heavily unbalanced LLM-style shapes), since the full list
+   is not published. *)
+
+type entry = {
+  label : string;
+  description : string;
+  op : unit -> Ops.Op.t;  (* thunk: building an op validates its bounds *)
+  from_paper : bool;
+}
+
+let conv ~label ~description ?(from_paper = false) ~n ~ci ~co ~hw_ ~k ~s () =
+  { label; description; from_paper;
+    op =
+      (fun () ->
+        Ops.Conv.conv2d ~batch:n ~in_channels:ci ~out_channels:co ~height:hw_
+          ~width:hw_ ~kernel:k ~stride:s ()) }
+
+let gemm ~label ~description ?(from_paper = false) ~m ~k ~n () =
+  { label; description; from_paper;
+    op = (fun () -> Ops.Matmul.gemm ~m ~n ~k ()) }
+
+let gemv ~label ~description ?(from_paper = false) ~m ~n () =
+  { label; description; from_paper;
+    op = (fun () -> Ops.Matmul.gemv ~m ~n ()) }
+
+let pool ~label ~description ?(from_paper = false) ~n ~c ~hw_ ~f ~s () =
+  { label; description; from_paper;
+    op =
+      (fun () ->
+        Ops.Pool.avgpool2d ~batch:n ~channels:c ~height:hw_ ~width:hw_
+          ~window:f ~stride:s ()) }
+
+let convs =
+  [ conv ~label:"C1" ~description:"I=[128,256,30,30] K=[256,256,3,3] S=2"
+      ~from_paper:true ~n:128 ~ci:256 ~co:256 ~hw_:30 ~k:3 ~s:2 ();
+    conv ~label:"C2" ~description:"I=[128,128,28,28] K=[128,128,3,3] S=1"
+      ~from_paper:true ~n:128 ~ci:128 ~co:128 ~hw_:28 ~k:3 ~s:1 ();
+    conv ~label:"C3" ~description:"I=[128,128,58,58] K=[128,128,3,3] S=2"
+      ~from_paper:true ~n:128 ~ci:128 ~co:128 ~hw_:58 ~k:3 ~s:2 ();
+    conv ~label:"C4" ~description:"I=[64,64,56,56] K=[64,64,3,3] S=1" ~n:64
+      ~ci:64 ~co:64 ~hw_:56 ~k:3 ~s:1 ();
+    conv ~label:"C5" ~description:"I=[1,960,7,7] K=[320,960,1,1] S=1 (odd tail)"
+      ~n:1 ~ci:960 ~co:320 ~hw_:7 ~k:1 ~s:1 ();
+    conv ~label:"C6" ~description:"I=[128,512,14,14] K=[512,512,3,3] S=1"
+      ~n:128 ~ci:512 ~co:512 ~hw_:14 ~k:3 ~s:1 ();
+    conv ~label:"C7" ~description:"I=[32,3,224,224] K=[64,3,7,7] S=2 (stem)"
+      ~n:32 ~ci:3 ~co:64 ~hw_:224 ~k:7 ~s:2 ();
+    conv ~label:"C8" ~description:"I=[16,2048,7,7] K=[512,2048,1,1] S=1" ~n:16
+      ~ci:2048 ~co:512 ~hw_:7 ~k:1 ~s:1 () ]
+
+let gemms =
+  [ gemm ~label:"M1" ~description:"MKN=[8192,8192,8192]" ~from_paper:true
+      ~m:8192 ~k:8192 ~n:8192 ();
+    gemm ~label:"M2" ~description:"MKN=[65536,4,1024]" ~from_paper:true
+      ~m:65536 ~k:4 ~n:1024 ();
+    gemm ~label:"M3" ~description:"MKN=[65536,1024,4096]" ~from_paper:true
+      ~m:65536 ~k:1024 ~n:4096 ();
+    gemm ~label:"M4" ~description:"MKN=[4096,4096,4096]" ~m:4096 ~k:4096
+      ~n:4096 ();
+    gemm ~label:"M5" ~description:"MKN=[1024,1024,1024]" ~m:1024 ~k:1024
+      ~n:1024 ();
+    gemm ~label:"M6" ~description:"MKN=[128,4096,4096] (FFN)" ~m:128 ~k:4096
+      ~n:4096 ();
+    gemm ~label:"M7" ~description:"MKN=[32768,64,2048] (unbalanced)" ~m:32768
+      ~k:64 ~n:2048 ();
+    gemm ~label:"M8" ~description:"MKN=[16384,32,1024] (unbalanced)" ~m:16384
+      ~k:32 ~n:1024 () ]
+
+let gemvs =
+  [ gemv ~label:"V1" ~description:"MN=[16384,16384]" ~from_paper:true ~m:16384
+      ~n:16384 ();
+    gemv ~label:"V2" ~description:"MN=[16384,8192]" ~from_paper:true ~m:16384
+      ~n:8192 ();
+    gemv ~label:"V3" ~description:"MN=[16384,1000]" ~from_paper:true ~m:16384
+      ~n:1000 ();
+    gemv ~label:"V4" ~description:"MN=[4096,4096]" ~m:4096 ~n:4096 ();
+    gemv ~label:"V5" ~description:"MN=[65536,1024]" ~m:65536 ~n:1024 ();
+    gemv ~label:"V6" ~description:"MN=[1024,65536] (wide reduce)" ~m:1024
+      ~n:65536 ();
+    gemv ~label:"V7" ~description:"MN=[32768,4096]" ~m:32768 ~n:4096 ();
+    gemv ~label:"V8" ~description:"MN=[2048,2048]" ~m:2048 ~n:2048 () ]
+
+let pools =
+  [ pool ~label:"P1" ~description:"I=[16,48,48,48] F=2 S=2" ~from_paper:true
+      ~n:16 ~c:48 ~hw_:48 ~f:2 ~s:2 ();
+    pool ~label:"P2" ~description:"I=[128,168,83,83] F=2 S=2" ~from_paper:true
+      ~n:128 ~c:168 ~hw_:83 ~f:2 ~s:2 ();
+    pool ~label:"P3" ~description:"I=[128,617,21,21] F=3 S=2" ~from_paper:true
+      ~n:128 ~c:617 ~hw_:21 ~f:3 ~s:2 ();
+    pool ~label:"P4" ~description:"I=[64,64,112,112] F=2 S=2" ~n:64 ~c:64
+      ~hw_:112 ~f:2 ~s:2 ();
+    pool ~label:"P5" ~description:"I=[32,256,56,56] F=2 S=2" ~n:32 ~c:256
+      ~hw_:56 ~f:2 ~s:2 ();
+    pool ~label:"P6" ~description:"I=[128,2048,7,7] F=7 S=7 (global)" ~n:128
+      ~c:2048 ~hw_:7 ~f:7 ~s:7 ();
+    pool ~label:"P7" ~description:"I=[8,1280,40,40] F=2 S=2" ~n:8 ~c:1280
+      ~hw_:40 ~f:2 ~s:2 ();
+    pool ~label:"P8" ~description:"I=[256,32,96,96] F=3 S=3" ~n:256 ~c:32
+      ~hw_:96 ~f:3 ~s:3 () ]
+
+let all = convs @ gemms @ gemvs @ pools
+
+(* The three unbalanced GEMMs of Table V. *)
+let table_v =
+  [ ("[65536,4,1024]", fun () -> Ops.Matmul.gemm ~m:65536 ~k:4 ~n:1024 ());
+    ("[32768,64,2048]", fun () -> Ops.Matmul.gemm ~m:32768 ~k:64 ~n:2048 ());
+    ("[16384,32,1024]", fun () -> Ops.Matmul.gemm ~m:16384 ~k:32 ~n:1024 ()) ]
+
+let find label = List.find_opt (fun e -> e.label = label) all

@@ -1,0 +1,24 @@
+(** The 32-configuration operator benchmark (paper Table IV / §V-A).
+
+    Entries marked [from_paper] are copied verbatim from Table IV; the rest
+    extend each class to eight configurations in the same spirit. *)
+
+type entry = {
+  label : string;
+  description : string;
+  op : unit -> Ops.Op.t;
+  from_paper : bool;
+}
+
+val convs : entry list
+val gemms : entry list
+val gemvs : entry list
+val pools : entry list
+
+(** All 32 entries, C1–C8, M1–M8, V1–V8, P1–P8 in order. *)
+val all : entry list
+
+(** The three unbalanced GEMMs of Table V. *)
+val table_v : (string * (unit -> Ops.Op.t)) list
+
+val find : string -> entry option

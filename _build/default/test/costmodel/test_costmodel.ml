@@ -1,0 +1,251 @@
+open Sched
+
+let hw = Hardware.Presets.rtx4090
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let gemm_etir ?(m = 256) ?(n = 256) ?(k = 256) () =
+  Etir.create (Ops.Op.compute (Ops.Matmul.gemm ~m ~n ~k ()))
+
+(* A hand-checkable GEMM configuration: block 32x16, thread 4x4, rtile1 8. *)
+let configured () =
+  let e = gemm_etir () in
+  let e = Etir.with_stile e ~level:1 ~dim:0 32 in
+  let e = Etir.with_stile e ~level:1 ~dim:1 16 in
+  let e = Etir.with_stile e ~level:0 ~dim:0 4 in
+  let e = Etir.with_stile e ~level:0 ~dim:1 4 in
+  let e = Etir.with_rtile e ~level:1 ~dim:0 8 in
+  let e = Etir.with_rtile e ~level:0 ~dim:0 2 in
+  Etir.with_cur_level e 0
+
+(* ---------- Footprint ---------- *)
+
+let test_footprint_gemm () =
+  let e = configured () in
+  (* Level-1 tile: A slice 32x8, B slice 8x16, in f32. *)
+  check_int "input bytes at smem" ((32 * 8 * 4) + (8 * 16 * 4))
+    (Costmodel.Footprint.input_bytes e ~level:1);
+  (* Registers include the 4x4 accumulator. *)
+  check_int "register bytes"
+    (((4 * 2 * 4) + (2 * 4 * 4)) + (4 * 4 * 4))
+    (Costmodel.Footprint.bytes_at e ~level:0);
+  (* Shared memory excludes the accumulator. *)
+  check_int "smem excludes accumulator"
+    (Costmodel.Footprint.input_bytes e ~level:1)
+    (Costmodel.Footprint.bytes_at e ~level:1)
+
+let test_footprint_conv_halo () =
+  (* A strided conv tile's input footprint includes the halo. *)
+  let op =
+    Ops.Conv.conv2d ~batch:1 ~in_channels:4 ~out_channels:4 ~height:16
+      ~width:16 ~kernel:3 ~stride:2 ()
+  in
+  let e = Etir.create (Ops.Op.compute op) in
+  (* Output tile 2x2 with kernel 3, stride 2: input slice spans
+     2*(2-1)+3 = 5 per spatial dim. *)
+  let e = Etir.with_stile e ~level:1 ~dim:2 2 in
+  let e = Etir.with_stile e ~level:1 ~dim:3 2 in
+  let e = Etir.with_rtile e ~level:1 ~dim:1 3 in
+  let e = Etir.with_rtile e ~level:1 ~dim:2 3 in
+  let elems = Costmodel.Footprint.input_elems e ~level:1 in
+  let input_elems = List.assoc "I" elems in
+  check_int "halo counted" (1 * 1 * 5 * 5) input_elems
+
+(* Growing any tile never shrinks the footprint. *)
+let prop_footprint_monotone =
+  QCheck.Test.make ~count:300 ~name:"footprint monotone under tile growth"
+    QCheck.(make Gen.(triple (int_range 0 2) (int_range 0 1) (int_range 0 500)))
+    (fun (level, dim, seed) ->
+      let rng = Rng.create ~seed in
+      (* Random starting point via a short random walk. *)
+      let e = ref (gemm_etir ()) in
+      for _ = 1 to 10 do
+        match Action.successors !e with
+        | [] -> ()
+        | succs -> e := snd (Rng.choice rng succs)
+      done;
+      match Action.apply !e (Action.Tile { level; dim; dir = Action.Grow }) with
+      | None -> true
+      | Some grown ->
+        Costmodel.Footprint.bytes_at grown ~level
+        >= Costmodel.Footprint.bytes_at !e ~level)
+
+(* ---------- Traffic ---------- *)
+
+let test_traffic_gemm_formula () =
+  let e = configured () in
+  (* Classic formula: (M/tm)(N/tn)(K/tk) * (tm*tk + tk*tn) * 4 + out. *)
+  let blocks = 256 / 32 * (256 / 16) in
+  let steps = 256 / 8 in
+  let per_tile = ((32 * 8) + (8 * 16)) * 4 in
+  let expected =
+    (float_of_int (blocks * steps) *. float_of_int per_tile)
+    +. float_of_int (256 * 256 * 4)
+  in
+  Alcotest.(check (float 1.0))
+    "smem fill traffic" expected
+    (Costmodel.Traffic.bytes_into e ~level:1)
+
+let test_traffic_compulsory_floor () =
+  let e = gemm_etir () in
+  (* Whatever the configuration, DRAM traffic never undercuts one read of
+     each input plus one write of the output. *)
+  Alcotest.(check bool)
+    "dram traffic >= compulsory" true
+    (Costmodel.Traffic.dram_bytes e >= Costmodel.Traffic.compulsory_bytes e)
+
+let prop_traffic_positive =
+  QCheck.Test.make ~count:200 ~name:"traffic positive at every level"
+    QCheck.(make Gen.(int_range 0 1000))
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let e = ref (gemm_etir ()) in
+      for _ = 1 to 20 do
+        match Action.successors !e with
+        | [] -> ()
+        | succs -> e := snd (Rng.choice rng succs)
+      done;
+      Array.for_all (fun t -> t > 0.0) (Costmodel.Traffic.all_levels !e))
+
+(* ---------- Conflict ---------- *)
+
+let test_conflict_strides () =
+  let e = configured () in
+  (* Thread tile width 4 along the innermost dim: stride 4 words. *)
+  check_int "stride words" 4
+    (Costmodel.Conflict.access_stride_words e ~bank_width_bytes:4);
+  let raw = Costmodel.Conflict.raw_degree e ~hw in
+  Alcotest.(check (float 1e-9)) "raw degree for stride 4" 4.0 raw;
+  (* Vthreads divide the stride. *)
+  let e' = Etir.with_vthread e ~dim:1 4 in
+  Alcotest.(check (float 1e-9))
+    "vthreads clear the conflict" 1.0
+    (Costmodel.Conflict.raw_degree e' ~hw);
+  Alcotest.(check bool)
+    "dilution softens" true
+    (Costmodel.Conflict.factor e ~hw < raw)
+
+(* ---------- Occupancy ---------- *)
+
+let test_occupancy_limits () =
+  let e = configured () in
+  let occ = Costmodel.Occupancy.of_etir e ~hw in
+  (* 8x4 = 32 threads per block; tiny block: thread-slot limited. *)
+  Alcotest.(check bool) "resident > 0" true (occ.Costmodel.Occupancy.blocks_per_sm > 0);
+  Alcotest.(check bool)
+    "occupancy in range" true
+    (occ.Costmodel.Occupancy.sm_occupancy > 0.0
+    && occ.Costmodel.Occupancy.sm_occupancy <= 1.0);
+  (* An oversized block cannot launch. *)
+  let too_big = Etir.with_stile (gemm_etir ()) ~level:1 ~dim:0 256 in
+  let too_big = Etir.with_stile too_big ~level:1 ~dim:1 256 in
+  let occ2 = Costmodel.Occupancy.of_etir too_big ~hw in
+  check_int "unlaunchable" 0 occ2.Costmodel.Occupancy.blocks_per_sm
+
+(* ---------- Mem_check ---------- *)
+
+let test_mem_check () =
+  let e = gemm_etir () in
+  check_bool "initial state legal" true (Costmodel.Mem_check.ok e ~hw);
+  check_bool "initial state capacity-legal" true
+    (Costmodel.Mem_check.ok_capacity e ~hw);
+  (* Oversized register tile trips the per-thread capacity. *)
+  let big = Etir.with_stile e ~level:0 ~dim:0 256 in
+  let big = Etir.with_stile big ~level:0 ~dim:1 256 in
+  check_bool "register overflow flagged" false
+    (Costmodel.Mem_check.ok_capacity big ~hw);
+  (* Launch-only violations pass the capacity check but fail the full one. *)
+  let wide = Etir.with_stile e ~level:1 ~dim:0 256 in
+  let wide = Etir.with_stile wide ~level:1 ~dim:1 256 in
+  check_bool "launch violation passes capacity check" true
+    (Costmodel.Mem_check.ok_capacity wide ~hw);
+  check_bool "launch violation fails full check" false
+    (Costmodel.Mem_check.ok wide ~hw)
+
+(* ---------- Model ---------- *)
+
+let test_model_sanity () =
+  let e = configured () in
+  let m = Costmodel.Model.evaluate ~hw e in
+  let open Costmodel.Metrics in
+  check_bool "time positive" true (m.exec_time_s > 0.0);
+  check_bool "rates within [0,1]" true
+    (m.compute_throughput >= 0.0 && m.compute_throughput <= 1.0
+    && m.sm_occupancy >= 0.0 && m.sm_occupancy <= 1.0
+    && m.mem_busy >= 0.0 && m.mem_busy <= 1.0
+    && m.l2_hit_rate >= 0.0 && m.l2_hit_rate <= 1.0);
+  check_bool "conflicts >= 1" true (m.bank_conflict_factor >= 1.0)
+
+let test_model_infeasible_sentinel () =
+  let e = gemm_etir () in
+  let too_big = Etir.with_stile e ~level:1 ~dim:0 256 in
+  let too_big = Etir.with_stile too_big ~level:1 ~dim:1 256 in
+  let m = Costmodel.Model.evaluate ~hw too_big in
+  Alcotest.(check (float 1.0))
+    "sentinel time" Costmodel.Model.infeasible_time_s
+    m.Costmodel.Metrics.exec_time_s
+
+let test_model_prefers_tuned () =
+  (* A reasonable schedule must beat the unscheduled one. *)
+  let naive = Costmodel.Model.score ~hw (gemm_etir ()) in
+  let tuned = Costmodel.Model.score ~hw (configured ()) in
+  check_bool "tuned beats naive" true (tuned > naive)
+
+let test_model_ablation_knobs () =
+  let e = configured () in
+  let base = Costmodel.Model.evaluate ~hw e in
+  let no_conflicts =
+    Costmodel.Model.evaluate
+      ~knobs:{ Costmodel.Model.default_knobs with model_conflicts = false }
+      ~hw e
+  in
+  check_bool "conflict-free not slower" true
+    (no_conflicts.Costmodel.Metrics.exec_time_s
+    <= base.Costmodel.Metrics.exec_time_s +. 1e-12)
+
+let test_polish_improves () =
+  let e = gemm_etir () in
+  let before = Costmodel.Model.score ~hw e in
+  let _, metrics, evals = Costmodel.Polish.greedy ~budget:16 ~hw e in
+  check_bool "polish never degrades" true
+    (Costmodel.Metrics.score metrics >= before);
+  check_bool "polish evaluated candidates" true (evals > 0)
+
+let prop_model_deterministic =
+  QCheck.Test.make ~count:100 ~name:"model evaluation is deterministic"
+    QCheck.(make Gen.(int_range 0 1000))
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let e = ref (gemm_etir ()) in
+      for _ = 1 to 15 do
+        match Action.successors !e with
+        | [] -> ()
+        | succs -> e := snd (Rng.choice rng succs)
+      done;
+      let a = Costmodel.Model.evaluate ~hw !e in
+      let b = Costmodel.Model.evaluate ~hw !e in
+      a = b)
+
+let () =
+  Alcotest.run "costmodel"
+    [ ("footprint",
+       [ Alcotest.test_case "gemm slices" `Quick test_footprint_gemm;
+         Alcotest.test_case "conv halo" `Quick test_footprint_conv_halo;
+         QCheck_alcotest.to_alcotest prop_footprint_monotone ]);
+      ("traffic",
+       [ Alcotest.test_case "gemm formula" `Quick test_traffic_gemm_formula;
+         Alcotest.test_case "compulsory floor" `Quick
+           test_traffic_compulsory_floor;
+         QCheck_alcotest.to_alcotest prop_traffic_positive ]);
+      ("conflict", [ Alcotest.test_case "strides" `Quick test_conflict_strides ]);
+      ("occupancy", [ Alcotest.test_case "limits" `Quick test_occupancy_limits ]);
+      ("mem_check", [ Alcotest.test_case "categories" `Quick test_mem_check ]);
+      ("model",
+       [ Alcotest.test_case "sanity" `Quick test_model_sanity;
+         Alcotest.test_case "infeasible sentinel" `Quick
+           test_model_infeasible_sentinel;
+         Alcotest.test_case "prefers tuned schedules" `Quick
+           test_model_prefers_tuned;
+         Alcotest.test_case "ablation knobs" `Quick test_model_ablation_knobs;
+         Alcotest.test_case "polish improves" `Quick test_polish_improves;
+         QCheck_alcotest.to_alcotest prop_model_deterministic ]) ]

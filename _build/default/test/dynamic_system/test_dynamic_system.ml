@@ -1,0 +1,113 @@
+(* The dynamic optimizing system: warm-started construction and the kernel
+   cache (the paper's ongoing-work feature). *)
+
+let hw = Hardware.Presets.rtx4090
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let gemm ~m = Ops.Op.compute (Ops.Matmul.gemm ~m ~n:512 ~k:512 ())
+
+(* ---------- warm start ---------- *)
+
+let test_warm_start_cheaper () =
+  let cold = Gensor.Optimizer.optimize ~hw (gemm ~m:1024) in
+  let warm =
+    Gensor.Optimizer.optimize ~warm_start:cold.Gensor.Optimizer.etir ~hw
+      (gemm ~m:768)
+  in
+  check_bool "warm construction does much less work" true
+    (warm.Gensor.Optimizer.states_explored
+    < cold.Gensor.Optimizer.states_explored / 2);
+  check_bool "warm result launchable" true
+    (Costmodel.Mem_check.ok warm.Gensor.Optimizer.etir ~hw)
+
+let test_warm_start_quality () =
+  (* A warm start from a neighbouring shape must not be much worse than a
+     cold construction on the same shape. *)
+  let cold = Gensor.Optimizer.optimize ~hw (gemm ~m:768) in
+  let seed = Gensor.Optimizer.optimize ~hw (gemm ~m:1024) in
+  let warm =
+    Gensor.Optimizer.optimize ~warm_start:seed.Gensor.Optimizer.etir ~hw
+      (gemm ~m:768)
+  in
+  let ratio =
+    Costmodel.Metrics.score warm.Gensor.Optimizer.metrics
+    /. Costmodel.Metrics.score cold.Gensor.Optimizer.metrics
+  in
+  if ratio < 0.85 then
+    Alcotest.failf "warm start lost too much quality: %.2f of cold" ratio
+
+let test_warm_start_structure_mismatch () =
+  let seed = Gensor.Optimizer.optimize ~hw (gemm ~m:256) in
+  let gemv = Ops.Op.compute (Ops.Matmul.gemv ~m:256 ~n:256 ()) in
+  try
+    ignore
+      (Gensor.Optimizer.optimize ~warm_start:seed.Gensor.Optimizer.etir ~hw
+         gemv);
+    Alcotest.fail "mismatched warm start accepted"
+  with Invalid_argument _ -> ()
+
+(* ---------- kernel cache ---------- *)
+
+let test_cache_hit_warm_cold () =
+  let cache = Dnn.Kernel_cache.create ~hw () in
+  let _, first = Dnn.Kernel_cache.compile cache (gemm ~m:1024) in
+  check_bool "first shape is a cold miss" true (first = Dnn.Kernel_cache.Cold_miss);
+  let _, second = Dnn.Kernel_cache.compile cache (gemm ~m:1024) in
+  check_bool "same shape hits" true (second = Dnn.Kernel_cache.Hit);
+  let _, third = Dnn.Kernel_cache.compile cache (gemm ~m:512) in
+  check_bool "same family warm-misses" true
+    (third = Dnn.Kernel_cache.Warm_miss);
+  let gemv = Ops.Op.compute (Ops.Matmul.gemv ~m:1024 ~n:1024 ()) in
+  let _, fourth = Dnn.Kernel_cache.compile cache gemv in
+  check_bool "new family is a cold miss" true
+    (fourth = Dnn.Kernel_cache.Cold_miss);
+  let stats = Dnn.Kernel_cache.stats cache in
+  check_int "hits" 1 stats.Dnn.Kernel_cache.hits;
+  check_int "warm misses" 1 stats.Dnn.Kernel_cache.warm_misses;
+  check_int "cold misses" 2 stats.Dnn.Kernel_cache.cold_misses;
+  check_int "entries" 3 (Dnn.Kernel_cache.size cache)
+
+let test_cache_serves_dynamic_sequence () =
+  (* A BERT-like stream of sequence lengths: after the first shape, every
+     new length is served warm, and total construction work grows far slower
+     than per-shape cold compilation would. *)
+  let cache = Dnn.Kernel_cache.create ~hw () in
+  let shapes = [ 128; 192; 256; 160; 224; 128; 192 ] in
+  List.iter
+    (fun m ->
+      let entry, _ = Dnn.Kernel_cache.compile cache (gemm ~m:(m * 4)) in
+      check_bool "served kernel launchable" true
+        (Costmodel.Mem_check.ok entry.Dnn.Kernel_cache.etir ~hw))
+    shapes;
+  let stats = Dnn.Kernel_cache.stats cache in
+  check_int "two repeats hit" 2 stats.Dnn.Kernel_cache.hits;
+  check_int "one cold" 1 stats.Dnn.Kernel_cache.cold_misses;
+  check_int "rest warm" 4 stats.Dnn.Kernel_cache.warm_misses;
+  let cold = Gensor.Optimizer.optimize ~hw (gemm ~m:512) in
+  check_bool "total work under 3 cold constructions" true
+    (stats.Dnn.Kernel_cache.construction_steps
+    < 3 * cold.Gensor.Optimizer.states_explored)
+
+let test_cache_keys () =
+  let a = gemm ~m:1024 and b = gemm ~m:512 in
+  check_bool "different shapes, different keys" true
+    (Dnn.Kernel_cache.shape_key a <> Dnn.Kernel_cache.shape_key b);
+  Alcotest.(check string)
+    "same family key"
+    (Dnn.Kernel_cache.family_key a)
+    (Dnn.Kernel_cache.family_key b)
+
+let () =
+  Alcotest.run "dynamic_system"
+    [ ("warm_start",
+       [ Alcotest.test_case "cheaper than cold" `Quick test_warm_start_cheaper;
+         Alcotest.test_case "quality preserved" `Quick test_warm_start_quality;
+         Alcotest.test_case "structure mismatch rejected" `Quick
+           test_warm_start_structure_mismatch ]);
+      ("kernel_cache",
+       [ Alcotest.test_case "hit/warm/cold classification" `Quick
+           test_cache_hit_warm_cold;
+         Alcotest.test_case "dynamic sequence stream" `Quick
+           test_cache_serves_dynamic_sequence;
+         Alcotest.test_case "keys" `Quick test_cache_keys ]) ]

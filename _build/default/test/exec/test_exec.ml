@@ -1,0 +1,184 @@
+open Sched
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Tensor ---------- *)
+
+let test_tensor_basics () =
+  let t = Exec.Tensor.create [ 2; 3 ] in
+  Exec.Tensor.set t [ 1; 2 ] 5.0;
+  check_float "set/get" 5.0 (Exec.Tensor.get t [ 1; 2 ]);
+  check_float "zero elsewhere" 0.0 (Exec.Tensor.get t [ 0; 0 ]);
+  check_int "size" 6 (Exec.Tensor.size t);
+  Alcotest.check_raises "rank mismatch"
+    (Invalid_argument "Tensor.offset: rank mismatch") (fun () ->
+      ignore (Exec.Tensor.get t [ 1 ]));
+  (try
+     ignore (Exec.Tensor.get t [ 2; 0 ]);
+     Alcotest.fail "out of bounds accepted"
+   with Invalid_argument _ -> ())
+
+let test_tensor_init () =
+  let t = Exec.Tensor.init [ 3; 4 ] (fun coords ->
+      match coords with [ i; j ] -> float_of_int ((i * 10) + j) | _ -> nan)
+  in
+  check_float "row-major init" 23.0 (Exec.Tensor.get t [ 2; 3 ]);
+  check_float "origin" 0.0 (Exec.Tensor.get t [ 0; 0 ])
+
+let test_tensor_pad () =
+  let t = Exec.Tensor.init [ 1; 1; 2; 2 ] (fun _ -> 1.0) in
+  let p = Exec.Tensor.pad_hw t ~pad:1 in
+  Alcotest.(check (list int)) "padded shape" [ 1; 1; 4; 4 ] (Exec.Tensor.shape p);
+  check_float "border zero" 0.0 (Exec.Tensor.get p [ 0; 0; 0; 0 ]);
+  check_float "interior preserved" 1.0 (Exec.Tensor.get p [ 0; 0; 1; 1 ])
+
+(* ---------- Reference ---------- *)
+
+let test_reference_gemm () =
+  let op = Ops.Matmul.gemm ~m:2 ~n:2 ~k:2 () in
+  let compute = Ops.Op.compute op in
+  let a = Exec.Tensor.init [ 2; 2 ] (fun c ->
+      match c with [ i; k ] -> float_of_int ((i * 2) + k + 1) | _ -> nan)
+  in
+  let b = Exec.Tensor.init [ 2; 2 ] (fun c ->
+      match c with [ k; j ] -> float_of_int ((k * 2) + j + 5) | _ -> nan)
+  in
+  let out = Exec.Reference.run compute [ ("A", a); ("B", b) ] in
+  (* [[1 2];[3 4]] x [[5 6];[7 8]] = [[19 22];[43 50]] *)
+  check_float "c00" 19.0 (Exec.Tensor.get out [ 0; 0 ]);
+  check_float "c01" 22.0 (Exec.Tensor.get out [ 0; 1 ]);
+  check_float "c10" 43.0 (Exec.Tensor.get out [ 1; 0 ]);
+  check_float "c11" 50.0 (Exec.Tensor.get out [ 1; 1 ])
+
+let test_reference_avgpool_scale () =
+  let op =
+    Ops.Pool.avgpool2d ~batch:1 ~channels:1 ~height:2 ~width:2 ~window:2
+      ~stride:2 ()
+  in
+  let inputs =
+    [ ("I", Exec.Tensor.init [ 1; 1; 2; 2 ] (fun c ->
+          match c with [ _; _; y; x ] -> float_of_int ((y * 2) + x) | _ -> nan))
+    ]
+  in
+  let out = Exec.Reference.run (Ops.Op.compute op) inputs in
+  check_float "mean of 0..3" 1.5 (Exec.Tensor.get out [ 0; 0; 0; 0 ])
+
+let test_reference_maxpool () =
+  let op =
+    Ops.Pool.maxpool2d ~batch:1 ~channels:1 ~height:2 ~width:2 ~window:2
+      ~stride:2 ()
+  in
+  let inputs =
+    [ ("I", Exec.Tensor.init [ 1; 1; 2; 2 ] (fun c ->
+          match c with [ _; _; y; x ] -> float_of_int ((y * 2) + x) | _ -> nan))
+    ]
+  in
+  let out = Exec.Reference.run (Ops.Op.compute op) inputs in
+  check_float "max of 0..3" 3.0 (Exec.Tensor.get out [ 0; 0; 0; 0 ])
+
+let test_reference_missing_input () =
+  let compute = Ops.Op.compute (Ops.Matmul.gemv ~m:2 ~n:2 ()) in
+  Alcotest.check_raises "missing input"
+    (Invalid_argument "Reference: missing input A") (fun () ->
+      ignore (Exec.Reference.run compute []))
+
+(* ---------- Scheduled vs reference ---------- *)
+
+let small_ops =
+  [ ("gemm 13x9x11", fun () -> Ops.Matmul.gemm ~m:13 ~n:9 ~k:11 ());
+    ("gemv 23x17", fun () -> Ops.Matmul.gemv ~m:23 ~n:17 ());
+    ("bmm 3x6x5x4", fun () -> Ops.Matmul.batch_matmul ~batch:3 ~m:6 ~n:5 ~k:4 ());
+    ("conv 2ch 7x7 s2",
+     fun () ->
+       Ops.Conv.conv2d ~batch:2 ~in_channels:2 ~out_channels:3 ~height:7
+         ~width:7 ~kernel:3 ~stride:2 ());
+    ("dwconv 3ch s1",
+     fun () ->
+       Ops.Conv.depthwise_conv2d ~batch:1 ~channels:3 ~height:6 ~width:6
+         ~kernel:3 ~stride:1 ());
+    ("avgpool", fun () ->
+       Ops.Pool.avgpool2d ~batch:2 ~channels:3 ~height:6 ~width:6 ~window:2
+         ~stride:2 ());
+    ("maxpool", fun () ->
+       Ops.Pool.maxpool2d ~batch:1 ~channels:2 ~height:9 ~width:9 ~window:3
+         ~stride:3 ());
+    ("relu", fun () -> Ops.Elementwise.relu ~shape:[ 3; 4; 5 ] ());
+    ("bias_add", fun () -> Ops.Elementwise.bias_add ~shape:[ 2; 6; 3 ] ()) ]
+
+(* A random ETIR for a compute definition, via a random legal-action walk. *)
+let random_schedule rng compute ~steps =
+  let e = ref (Etir.create compute) in
+  for _ = 1 to steps do
+    match Action.successors !e with
+    | [] -> ()
+    | succs -> e := snd (Rng.choice rng succs)
+  done;
+  !e
+
+let test_scheduled_matches_reference () =
+  let rng = Rng.create ~seed:99 in
+  List.iter
+    (fun (name, make_op) ->
+      let compute = Ops.Op.compute (make_op ()) in
+      let inputs = Exec.Reference.random_inputs compute in
+      let expected = Exec.Reference.run compute inputs in
+      for _ = 1 to 3 do
+        let etir = random_schedule rng compute ~steps:25 in
+        let result = Exec.Scheduled.run etir inputs in
+        if not (Exec.Scheduled.coverage_exact result) then
+          Alcotest.failf "%s: coverage not exact for %s" name
+            (Etir.signature etir);
+        let diff = Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output in
+        if diff > 1e-3 then
+          Alcotest.failf "%s: schedule diverges (%.2e) for %s" name diff
+            (Etir.signature etir)
+      done)
+    small_ops
+
+let prop_random_schedules_correct =
+  QCheck.Test.make ~count:60 ~name:"random gemm schedules preserve semantics"
+    QCheck.(make Gen.(pair (int_range 0 10_000) (int_range 0 50)))
+    (fun (seed, steps) ->
+      let rng = Rng.create ~seed in
+      let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:17 ~n:13 ~k:19 ()) in
+      let inputs = Exec.Reference.random_inputs ~seed compute in
+      let expected = Exec.Reference.run compute inputs in
+      let etir = random_schedule rng compute ~steps in
+      let result = Exec.Scheduled.run etir inputs in
+      Exec.Scheduled.coverage_exact result
+      && Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output < 1e-3)
+
+let prop_vthread_preserves_semantics =
+  QCheck.Test.make ~count:60 ~name:"vthread stripes preserve semantics"
+    QCheck.(make Gen.(triple (int_range 1 8) (int_range 1 8) (int_range 0 100)))
+    (fun (t0, v_raw, seed) ->
+      let v = min v_raw t0 in
+      let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:29 ~n:23 ~k:7 ()) in
+      let inputs = Exec.Reference.random_inputs ~seed compute in
+      let expected = Exec.Reference.run compute inputs in
+      let e = Etir.create compute in
+      let e = Etir.with_stile e ~level:0 ~dim:0 t0 in
+      let e = Etir.with_stile e ~level:1 ~dim:0 (min 29 (t0 * 2)) in
+      let e = Etir.with_vthread e ~dim:0 v in
+      let result = Exec.Scheduled.run e inputs in
+      Exec.Scheduled.coverage_exact result
+      && Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output < 1e-3)
+
+let () =
+  Alcotest.run "exec"
+    [ ("tensor",
+       [ Alcotest.test_case "basics" `Quick test_tensor_basics;
+         Alcotest.test_case "init" `Quick test_tensor_init;
+         Alcotest.test_case "padding" `Quick test_tensor_pad ]);
+      ("reference",
+       [ Alcotest.test_case "gemm 2x2" `Quick test_reference_gemm;
+         Alcotest.test_case "avgpool scale" `Quick test_reference_avgpool_scale;
+         Alcotest.test_case "maxpool combine" `Quick test_reference_maxpool;
+         Alcotest.test_case "missing input" `Quick test_reference_missing_input
+       ]);
+      ("scheduled",
+       [ Alcotest.test_case "matches reference on all op classes" `Slow
+           test_scheduled_matches_reference;
+         QCheck_alcotest.to_alcotest prop_random_schedules_correct;
+         QCheck_alcotest.to_alcotest prop_vthread_preserves_semantics ]) ]

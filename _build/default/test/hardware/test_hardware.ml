@@ -1,0 +1,68 @@
+open Hardware
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_mem_level () =
+  let level =
+    Mem_level.v ~name:"smem" ~scope:Mem_level.Per_block ~capacity_bytes:1024
+      ~bandwidth_gbs:100.0 ~latency_cycles:20.0 ~banks:32 ~bank_width_bytes:4 ()
+  in
+  check_int "capacity" 1024 (Mem_level.capacity_bytes level);
+  check_int "banks" 32 (Mem_level.banks level);
+  (* 20 cycles @ 1 GHz = 20 ns, plus 1000 B at 100 GB/s = 10 ns. *)
+  check_float "transfer time" 3e-8
+    (Mem_level.transfer_seconds level ~clock_ghz:1.0 ~bytes:1000);
+  Alcotest.check_raises "non-positive capacity rejected"
+    (Invalid_argument "Mem_level.v: capacity_bytes <= 0") (fun () ->
+      ignore
+        (Mem_level.v ~name:"x" ~scope:Mem_level.Device ~capacity_bytes:0
+           ~bandwidth_gbs:1.0 ~latency_cycles:1.0 ()))
+
+let test_gpu_spec_presets () =
+  let rtx = Presets.rtx4090 in
+  check_int "4090 SMs" 128 (Gpu_spec.sm_count rtx);
+  check_int "schedulable cache levels" 2 (Gpu_spec.schedulable_cache_levels rtx);
+  (* 2 * 128 * 128 * 2.52e9 = 82.6 TFLOPS. *)
+  Alcotest.(check bool)
+    "4090 peak in spec range" true
+    (let peak = Gpu_spec.peak_flops rtx /. 1e12 in
+     peak > 80.0 && peak < 85.0);
+  let orin = Presets.orin_nano in
+  Alcotest.(check bool)
+    "orin peak about 1.3 TFLOPS" true
+    (let peak = Gpu_spec.peak_flops orin /. 1e12 in
+     peak > 1.0 && peak < 1.5);
+  Alcotest.(check bool)
+    "edge slower than cloud" true
+    (Gpu_spec.peak_flops orin < Gpu_spec.peak_flops rtx)
+
+let test_gpu_spec_validation () =
+  let reg =
+    Mem_level.v ~name:"reg" ~scope:Mem_level.Per_thread ~capacity_bytes:1024
+      ~bandwidth_gbs:1000.0 ~latency_cycles:0.0 ()
+  in
+  let dram =
+    Mem_level.v ~name:"dram" ~scope:Mem_level.Device ~capacity_bytes:1024
+      ~bandwidth_gbs:100.0 ~latency_cycles:100.0 ()
+  in
+  Alcotest.check_raises "need a cache level"
+    (Invalid_argument "Gpu_spec.v: need at least registers, one cache, DRAM")
+    (fun () ->
+      ignore
+        (Gpu_spec.v ~name:"bad" ~sm_count:1 ~cores_per_sm:1 ~clock_ghz:1.0
+           ~warp_size:32 ~max_threads_per_sm:1024 ~max_threads_per_block:1024
+           ~registers_per_sm:1024 ~power_watts:1.0 ~levels:[| reg; dram |]))
+
+let test_lookup () =
+  Alcotest.(check bool) "by_name rtx" true (Presets.by_name "rtx4090" <> None);
+  Alcotest.(check bool) "by_name orin" true (Presets.by_name "orin" <> None);
+  Alcotest.(check bool) "unknown name" true (Presets.by_name "tpu" = None)
+
+let () =
+  Alcotest.run "hardware"
+    [ ("mem_level", [ Alcotest.test_case "basics" `Quick test_mem_level ]);
+      ("gpu_spec",
+       [ Alcotest.test_case "presets" `Quick test_gpu_spec_presets;
+         Alcotest.test_case "validation" `Quick test_gpu_spec_validation;
+         Alcotest.test_case "lookup" `Quick test_lookup ]) ]

@@ -1,0 +1,135 @@
+(* Cross-library integration tests: the paper's headline relations asserted
+   end-to-end on small, fast instances. *)
+
+let hw = Hardware.Presets.rtx4090
+let check_bool = Alcotest.(check bool)
+
+(* The central claim: graph construction beats tree construction on average
+   and never loses by more than small-operator noise (tiny kernels are
+   launch-overhead dominated, where the two can tie within microseconds). *)
+let test_gensor_beats_roller () =
+  let ratios =
+    List.map
+      (fun (name, op) ->
+        let compute = Ops.Op.compute op in
+        let gensor = Gensor.Optimizer.optimize ~hw compute in
+        let roller = Roller.construct ~hw compute in
+        let g = Costmodel.Metrics.score gensor.Gensor.Optimizer.metrics in
+        let r = Costmodel.Metrics.score roller.Roller.metrics in
+        if g < r *. 0.90 then
+          Alcotest.failf "%s: gensor (%.3g) well below roller (%.3g)" name g r;
+        if g > r *. 8.0 then
+          Alcotest.failf "%s: implausible gap gensor %.3g vs roller %.3g" name
+            g r;
+        g /. r)
+      [ ("gemm", Ops.Matmul.gemm ~m:1024 ~n:1024 ~k:256 ());
+        ("conv",
+         Ops.Conv.conv2d ~batch:8 ~in_channels:32 ~out_channels:32 ~height:28
+           ~width:28 ~kernel:3 ~stride:1 ());
+        ("gemv", Ops.Matmul.gemv ~m:8192 ~n:1024 ()) ]
+  in
+  let mean =
+    List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+  in
+  check_bool "gensor better on average" true (mean >= 1.0)
+
+(* Gensor's chosen schedule must compute the right answer. *)
+let test_optimized_schedules_are_correct () =
+  List.iter
+    (fun op ->
+      let compute = Ops.Op.compute op in
+      let r = Gensor.Optimizer.optimize ~hw compute in
+      let inputs = Exec.Reference.random_inputs compute in
+      let expected = Exec.Reference.run compute inputs in
+      let result = Exec.Scheduled.run r.Gensor.Optimizer.etir inputs in
+      check_bool "coverage exact" true (Exec.Scheduled.coverage_exact result);
+      check_bool "numerically correct" true
+        (Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output < 1e-3))
+    [ Ops.Matmul.gemm ~m:31 ~n:17 ~k:23 ();
+      Ops.Conv.conv2d ~batch:2 ~in_channels:3 ~out_channels:5 ~height:11
+        ~width:11 ~kernel:3 ~stride:2 ();
+      Ops.Pool.avgpool2d ~batch:2 ~channels:4 ~height:8 ~width:8 ~window:2
+        ~stride:2 () ]
+
+(* Roller's and the vendor's schedules are correct too. *)
+let test_baseline_schedules_are_correct () =
+  let op = Ops.Matmul.gemm ~m:29 ~n:13 ~k:21 () in
+  let compute = Ops.Op.compute op in
+  let inputs = Exec.Reference.random_inputs compute in
+  let expected = Exec.Reference.run compute inputs in
+  let check_etir name etir =
+    let result = Exec.Scheduled.run etir inputs in
+    if not (Exec.Scheduled.coverage_exact result) then
+      Alcotest.failf "%s: coverage broken" name;
+    if Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output > 1e-3
+    then Alcotest.failf "%s: wrong results" name
+  in
+  check_etir "roller" (Roller.construct ~hw compute).Roller.etir;
+  check_etir "cublas" (Vendor.Cublas.compile ~hw op).Vendor.Cublas.etir;
+  let config = { Ansor.Search.default_config with Ansor.Search.n_trials = 60 } in
+  check_etir "ansor" (Ansor.Search.search ~config ~hw compute).Ansor.Search.etir
+
+(* Full pipeline: optimise, emit code, check the launch covers the domain. *)
+let test_pipeline_to_codegen () =
+  let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:512 ~n:256 ~k:128 ()) in
+  let r = Gensor.Optimizer.optimize ~hw compute in
+  let launch = Codegen.Launch.of_etir r.Gensor.Optimizer.etir in
+  check_bool "grid covers the output" true
+    (Codegen.Launch.total_blocks launch
+    = Sched.Etir.grid_blocks r.Gensor.Optimizer.etir);
+  let src = Codegen.Cuda.emit r.Gensor.Optimizer.etir in
+  check_bool "kernel emitted" true (String.length src > 200)
+
+(* Both device presets work end to end, and the edge device is slower. *)
+let test_both_devices () =
+  let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:512 ~n:512 ~k:256 ()) in
+  let cloud = Gensor.Optimizer.optimize ~hw compute in
+  let edge =
+    Gensor.Optimizer.optimize ~hw:Hardware.Presets.orin_nano compute
+  in
+  check_bool "edge slower than cloud" true
+    (edge.Gensor.Optimizer.metrics.Costmodel.Metrics.exec_time_s
+    > cloud.Gensor.Optimizer.metrics.Costmodel.Metrics.exec_time_s)
+
+(* Determinism across the whole standard method set. *)
+let test_pipeline_deterministic () =
+  let op = Ops.Matmul.gemm ~m:256 ~n:128 ~k:64 () in
+  List.iter
+    (fun make ->
+      let m1 = make () and m2 = make () in
+      let a = m1.Pipeline.Methods.compile ~hw op in
+      let b = m2.Pipeline.Methods.compile ~hw op in
+      if not (Sched.Etir.equal a.Pipeline.Methods.etir b.Pipeline.Methods.etir)
+      then Alcotest.failf "%s not deterministic" m1.Pipeline.Methods.name)
+    [ (fun () -> Pipeline.Methods.gensor ());
+      (fun () -> Pipeline.Methods.roller ());
+      (fun () -> Pipeline.Methods.ansor ~n_trials:80 ());
+      (fun () -> Pipeline.Methods.cublas ()) ]
+
+(* Failure injection: methods must reject mismatched devices cleanly. *)
+let test_mismatched_levels_rejected () =
+  let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:8 ~n:8 ~k:8 ()) in
+  let etir = Sched.Etir.create ~num_levels:3 compute in
+  (try
+     ignore (Costmodel.Model.evaluate ~hw etir);
+     Alcotest.fail "mismatched hierarchy accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Costmodel.Mem_check.check etir ~hw);
+    Alcotest.fail "mismatched hierarchy accepted by mem check"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "integration"
+    [ ("headline",
+       [ Alcotest.test_case "gensor >= roller" `Slow test_gensor_beats_roller;
+         Alcotest.test_case "optimised schedules correct" `Slow
+           test_optimized_schedules_are_correct;
+         Alcotest.test_case "baseline schedules correct" `Quick
+           test_baseline_schedules_are_correct ]);
+      ("pipeline",
+       [ Alcotest.test_case "codegen round trip" `Quick test_pipeline_to_codegen;
+         Alcotest.test_case "both devices" `Quick test_both_devices;
+         Alcotest.test_case "determinism" `Quick test_pipeline_deterministic;
+         Alcotest.test_case "mismatched hierarchy rejected" `Quick
+           test_mismatched_levels_rejected ]) ]

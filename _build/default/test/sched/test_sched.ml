@@ -1,0 +1,243 @@
+open Sched
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f;
+    let n = Rng.int rng 17 in
+    if n < 0 || n >= 17 then Alcotest.failf "int out of range: %d" n
+  done;
+  Alcotest.check_raises "int bound 0 rejected"
+    (Invalid_argument "Rng.int: bound <= 0") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_roulette_proportions () =
+  let rng = Rng.create ~seed:11 in
+  let counts = Array.make 3 0 in
+  let trials = 60_000 in
+  for _ = 1 to trials do
+    let idx = Rng.roulette rng [| 0.6; 0.3; 0.1 |] in
+    counts.(idx) <- counts.(idx) + 1
+  done;
+  let share i = float_of_int counts.(i) /. float_of_int trials in
+  List.iteri
+    (fun i expected ->
+      if Float.abs (share i -. expected) > 0.02 then
+        Alcotest.failf "index %d share %.3f, expected %.3f" i (share i) expected)
+    [ 0.6; 0.3; 0.1 ]
+
+let test_rng_roulette_degenerate () =
+  let rng = Rng.create ~seed:5 in
+  (* All-zero weights fall back to uniform: every index must be hit. *)
+  let seen = Array.make 4 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.roulette rng [| 0.; 0.; 0.; 0. |]) <- true
+  done;
+  check_bool "uniform fallback covers all" true (Array.for_all Fun.id seen);
+  Alcotest.check_raises "negative weight rejected"
+    (Invalid_argument "Rng.roulette: negative or NaN weight") (fun () ->
+      ignore (Rng.roulette rng [| 0.5; -0.1 |]))
+
+let test_rng_split_diverges () =
+  let parent = Rng.create ~seed:1 in
+  let a = Rng.split parent and b = Rng.split parent in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  check_bool "split streams differ" true !differs
+
+(* ---------- Etir ---------- *)
+
+let gemm_etir ?(m = 64) ?(n = 48) ?(k = 32) () =
+  Etir.create (Ops.Op.compute (Ops.Matmul.gemm ~m ~n ~k ()))
+
+let test_etir_initial () =
+  let e = gemm_etir () in
+  check_int "levels" 2 (Etir.num_levels e);
+  check_int "starts at outermost level" 2 (Etir.cur_level e);
+  check_int "spatial dims" 2 (Etir.num_spatial e);
+  check_int "reduce dims" 1 (Etir.num_reduce e);
+  check_bool "initial state validates" true (Result.is_ok (Etir.validate e));
+  check_int "one thread" 1 (Etir.threads_per_block e);
+  check_int "grid covers every element" (64 * 48) (Etir.grid_blocks e)
+
+let test_etir_derived () =
+  let e = gemm_etir () in
+  let e = Etir.with_stile e ~level:1 ~dim:0 16 in
+  let e = Etir.with_stile e ~level:1 ~dim:1 8 in
+  let e = Etir.with_stile e ~level:0 ~dim:0 4 in
+  check_int "threads dim 0" 4 (Etir.physical_threads_dim e 0);
+  check_int "threads dim 1" 8 (Etir.physical_threads_dim e 1);
+  check_int "threads per block" 32 (Etir.threads_per_block e);
+  check_int "grid" (4 * 6) (Etir.grid_blocks e);
+  let e = Etir.with_vthread e ~dim:0 2 in
+  check_int "vthreads multiply logical units" (4 * 2)
+    (Etir.logical_threads_dim e 0);
+  check_int "physical unchanged by vthread" 32 (Etir.threads_per_block e)
+
+let test_etir_eff_tiles () =
+  let e = gemm_etir () in
+  (* A raw inner tile larger than the outer one widens the effective outer
+     tile. *)
+  let e = Etir.with_stile e ~level:0 ~dim:0 8 in
+  check_int "eff level1 covers level0" 8 (Etir.stile_eff e ~level:1 ~dim:0);
+  check_int "raw level1 unchanged" 1 (Etir.stile e ~level:1 ~dim:0);
+  let e = Etir.with_stile e ~level:1 ~dim:0 16 in
+  check_int "eff takes the max" 16 (Etir.stile_eff e ~level:2 ~dim:0)
+
+let test_etir_tile_env () =
+  let e = gemm_etir () in
+  let e = Etir.with_stile e ~level:1 ~dim:0 16 in
+  let e = Etir.with_rtile e ~level:1 ~dim:0 4 in
+  let iv = Etir.tile_env e ~level:1 "i" in
+  check_int "spatial env extent" 16 (Tensor_lang.Interval.extent iv);
+  let ivk = Etir.tile_env e ~level:1 "k" in
+  check_int "reduce env extent" 4 (Tensor_lang.Interval.extent ivk);
+  Alcotest.check_raises "unknown axis rejected"
+    (Invalid_argument "Etir.tile_env: unknown axis q") (fun () ->
+      ignore (Etir.tile_env e ~level:1 "q"))
+
+let test_etir_retarget () =
+  let e = gemm_etir ~m:64 ~n:48 ~k:32 () in
+  let e = Etir.with_stile e ~level:1 ~dim:0 32 in
+  let e = Etir.with_stile e ~level:0 ~dim:0 8 in
+  let e = Etir.with_vthread e ~dim:0 4 in
+  let small = Ops.Op.compute (Ops.Matmul.gemm ~m:4 ~n:48 ~k:32 ()) in
+  let r = Etir.retarget e small in
+  check_int "tile clamped to new extent" 4 (Etir.stile r ~level:1 ~dim:0);
+  check_int "vthread clamped to thread tile" 4 (Etir.vthread r ~dim:0);
+  check_bool "retargeted state validates" true (Result.is_ok (Etir.validate r));
+  let gemv = Ops.Op.compute (Ops.Matmul.gemv ~m:4 ~n:4 ()) in
+  Alcotest.check_raises "structure mismatch rejected"
+    (Invalid_argument "Etir.retarget: axis structure mismatch") (fun () ->
+      ignore (Etir.retarget e gemv))
+
+let test_etir_signature () =
+  let a = gemm_etir () and b = gemm_etir () in
+  check_bool "equal states share signatures" true (Etir.equal a b);
+  let c = Etir.with_stile a ~level:0 ~dim:0 2 in
+  check_bool "different tiles differ" false (Etir.equal a c)
+
+(* ---------- Action ---------- *)
+
+let test_action_grow_caps () =
+  let e = gemm_etir ~m:6 ~n:4 ~k:4 () in
+  (* Doubling caps at the extent: 1 -> 2 -> 4 -> 6 for extent 6. *)
+  let grow e = Action.apply e (Action.Tile { level = 1; dim = 0; dir = Action.Grow }) in
+  let e1 = Option.get (grow e) in
+  let e2 = Option.get (grow e1) in
+  let e3 = Option.get (grow e2) in
+  check_int "capped at extent" 6 (Etir.stile e3 ~level:1 ~dim:0);
+  check_bool "no growth past the extent" true (grow e3 = None)
+
+let test_action_shrink_floor () =
+  let e = gemm_etir () in
+  check_bool "cannot shrink below 1" true
+    (Action.apply e (Action.Tile { level = 1; dim = 0; dir = Action.Shrink })
+    = None);
+  (* vthreads pin the level-0 tile. *)
+  let e = Etir.with_stile e ~level:0 ~dim:0 4 in
+  let e = Etir.with_vthread e ~dim:0 4 in
+  check_bool "shrink below vthread stripe rejected" true
+    (Action.apply e (Action.Tile { level = 0; dim = 0; dir = Action.Shrink })
+    = None)
+
+let test_action_cache () =
+  let e = gemm_etir () in
+  let e1 = Option.get (Action.apply e Action.Cache) in
+  check_int "level decremented" 1 (Etir.cur_level e1);
+  let e0 = Option.get (Action.apply e1 Action.Cache) in
+  check_bool "no cache below registers" true (Action.apply e0 Action.Cache = None)
+
+let test_action_vthread_legality () =
+  let e = gemm_etir () in
+  check_bool "vthread needs a wide thread tile" true
+    (Action.apply e (Action.Set_vthread { dim = 0; dir = Action.Grow }) = None);
+  let e = Etir.with_stile e ~level:0 ~dim:0 4 in
+  let e1 =
+    Option.get (Action.apply e (Action.Set_vthread { dim = 0; dir = Action.Grow }))
+  in
+  check_int "vthread doubled" 2 (Etir.vthread e1 ~dim:0)
+
+let test_action_successors_validate () =
+  let e = gemm_etir () in
+  List.iter
+    (fun (action, next) ->
+      match Etir.validate next with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "successor of %s invalid: %s" (Action.to_string action)
+          msg)
+    (Action.successors e)
+
+(* Property: any random sequence of legal actions preserves the structural
+   invariants; shrink-after-grow returns to the previous tile size. *)
+let prop_random_walk_valid =
+  QCheck.Test.make ~count:200 ~name:"random action walks stay valid"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 1 60)))
+    (fun (seed, steps) ->
+      let rng = Rng.create ~seed in
+      let e = ref (gemm_etir ~m:33 ~n:17 ~k:29 ()) in
+      for _ = 1 to steps do
+        match Action.successors !e with
+        | [] -> ()
+        | succs ->
+          let _, next = Rng.choice rng succs in
+          e := next
+      done;
+      Result.is_ok (Etir.validate !e))
+
+let prop_grow_shrink_inverse =
+  QCheck.Test.make ~count:200 ~name:"shrink inverts grow"
+    QCheck.(make Gen.(pair (int_range 0 2) (int_range 0 1)))
+    (fun (level, dim) ->
+      let e = gemm_etir () in
+      match Action.apply e (Action.Tile { level; dim; dir = Action.Grow }) with
+      | None -> true
+      | Some grown -> (
+        match
+          Action.apply grown (Action.Tile { level; dim; dir = Action.Shrink })
+        with
+        | Some back -> Etir.equal e back
+        | None -> false))
+
+let () =
+  Alcotest.run "sched"
+    [ ("rng",
+       [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+         Alcotest.test_case "ranges" `Quick test_rng_ranges;
+         Alcotest.test_case "roulette proportions" `Quick
+           test_rng_roulette_proportions;
+         Alcotest.test_case "roulette degenerate cases" `Quick
+           test_rng_roulette_degenerate;
+         Alcotest.test_case "split diverges" `Quick test_rng_split_diverges ]);
+      ("etir",
+       [ Alcotest.test_case "initial state" `Quick test_etir_initial;
+         Alcotest.test_case "derived quantities" `Quick test_etir_derived;
+         Alcotest.test_case "effective tiles" `Quick test_etir_eff_tiles;
+         Alcotest.test_case "tile env" `Quick test_etir_tile_env;
+         Alcotest.test_case "retarget" `Quick test_etir_retarget;
+         Alcotest.test_case "signatures" `Quick test_etir_signature ]);
+      ("action",
+       [ Alcotest.test_case "grow caps at extent" `Quick test_action_grow_caps;
+         Alcotest.test_case "shrink floors" `Quick test_action_shrink_floor;
+         Alcotest.test_case "cache switch" `Quick test_action_cache;
+         Alcotest.test_case "vthread legality" `Quick
+           test_action_vthread_legality;
+         Alcotest.test_case "successors validate" `Quick
+           test_action_successors_validate;
+         QCheck_alcotest.to_alcotest prop_random_walk_valid;
+         QCheck_alcotest.to_alcotest prop_grow_shrink_inverse ]) ]

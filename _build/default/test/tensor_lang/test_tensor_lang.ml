@@ -1,0 +1,224 @@
+open Tensor_lang
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Index ---------- *)
+
+let env_of bindings name =
+  match List.assoc_opt name bindings with
+  | Some v -> v
+  | None -> Alcotest.failf "unbound %s" name
+
+let test_index_fold () =
+  let open Index in
+  check_int "constant folding add" 7 (match add (const 3) (const 4) with Const n -> n | _ -> -1);
+  check_int "mul by zero" 0 (match mul (var "i") (const 0) with Const n -> n | _ -> -1);
+  (match mul (var "i") (const 1) with
+  | Var "i" -> ()
+  | _ -> Alcotest.fail "mul by one should fold to the variable");
+  check_int "floor div of negatives" (-2) (floordiv (-3) 2);
+  check_int "floor mod of negatives" 1 (floormod (-3) 2)
+
+let test_index_eval () =
+  let open Index in
+  let expr = add (mul (const 2) (var "x")) (var "rx") in
+  check_int "2*3+1" 7 (eval ~env:(env_of [ ("x", 3); ("rx", 1) ]) expr);
+  check_int "min" 3 (eval ~env:(env_of []) (min_ (const 3) (const 9)));
+  check_int "max" 9 (eval ~env:(env_of []) (max_ (const 3) (const 9)));
+  Alcotest.check_raises "division by zero rejected"
+    (Invalid_argument "Index.eval: division by non-positive value") (fun () ->
+      ignore (eval ~env:(env_of []) (div (const 4) (const 0))))
+
+let test_index_vars () =
+  let open Index in
+  let expr = add (mul (var "a") (var "b")) (var "a") in
+  Alcotest.(check (list string)) "vars dedup, order" [ "a"; "b" ] (vars expr)
+
+let test_index_subst () =
+  let open Index in
+  let expr = add (var "x") (const 1) in
+  let substituted = subst ~bindings:[ ("x", const 9) ] expr in
+  check_int "substituted constant folds" 10
+    (match substituted with Const n -> n | _ -> -1)
+
+(* ---------- Interval ---------- *)
+
+let test_interval_basic () =
+  let iv = Interval.v 2 5 in
+  check_int "extent" 4 (Interval.extent iv);
+  check_bool "contains" true (Interval.contains iv 3);
+  check_bool "not contains" false (Interval.contains iv 6);
+  Alcotest.check_raises "lo > hi rejected"
+    (Invalid_argument "Interval.v: lo > hi") (fun () ->
+      ignore (Interval.v 3 2))
+
+let test_interval_arith () =
+  let a = Interval.v 1 3 and b = Interval.v (-2) 2 in
+  check_int "add lo" (-1) (Interval.lo (Interval.add a b));
+  check_int "add hi" 5 (Interval.hi (Interval.add a b));
+  check_int "mul lo" (-6) (Interval.lo (Interval.mul a b));
+  check_int "mul hi" 6 (Interval.hi (Interval.mul a b));
+  let q = Interval.div (Interval.v 5 9) (Interval.v 2 2) in
+  check_int "div lo" 2 (Interval.lo q);
+  check_int "div hi" 4 (Interval.hi q)
+
+(* Soundness: the interval of an expression contains every concrete value. *)
+let index_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> Index.const n) (int_range (-4) 8);
+        oneofl [ Index.var "x"; Index.var "y" ] ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map2 Index.add (tree (depth - 1)) (tree (depth - 1));
+          map2 Index.sub (tree (depth - 1)) (tree (depth - 1));
+          map2 Index.mul (tree (depth - 1)) (tree (depth - 1));
+          map2 Index.min_ (tree (depth - 1)) (tree (depth - 1));
+          map2 Index.max_ (tree (depth - 1)) (tree (depth - 1));
+          map2
+            (fun a d -> Index.div a (Index.const (1 + abs d)))
+            (tree (depth - 1))
+            (int_range 1 4);
+          map2
+            (fun a d -> Index.rem a (Index.const (1 + abs d)))
+            (tree (depth - 1))
+            (int_range 1 4) ]
+  in
+  tree 3
+
+let prop_interval_sound =
+  QCheck.Test.make ~count:500 ~name:"interval bounds every concrete value"
+    (QCheck.make
+       QCheck.Gen.(
+         quad index_gen (int_range 0 5) (int_range 0 5) (pair (int_range 0 5) (int_range 0 5))))
+    (fun (expr, x_lo, y_lo, (x_span, y_span)) ->
+      let x_iv = Interval.v x_lo (x_lo + x_span) in
+      let y_iv = Interval.v y_lo (y_lo + y_span) in
+      let env_iv name =
+        match name with
+        | "x" -> x_iv
+        | "y" -> y_iv
+        | _ -> QCheck.assume_fail ()
+      in
+      let bound = Interval.of_index ~env:env_iv expr in
+      let ok = ref true in
+      for x = Interval.lo x_iv to Interval.hi x_iv do
+        for y = Interval.lo y_iv to Interval.hi y_iv do
+          let env name =
+            match name with "x" -> x | "y" -> y | _ -> 0
+          in
+          let v = Index.eval ~env expr in
+          if not (Interval.contains bound v) then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- Access / Compute ---------- *)
+
+let gemm_compute ~m ~n ~k =
+  Compute.v ~name:"gemm"
+    ~axes:[ Axis.spatial "i" m; Axis.spatial "j" n; Axis.reduce "k" k ]
+    ~inputs:
+      [ { Compute.in_name = "A"; in_shape = [ m; k ]; in_dtype = Dtype.F32 };
+        { Compute.in_name = "B"; in_shape = [ k; n ]; in_dtype = Dtype.F32 } ]
+    ~out_name:"C"
+    ~body:
+      (Expr.mul
+         (Expr.read "A" [ Index.var "i"; Index.var "k" ])
+         (Expr.read "B" [ Index.var "k"; Index.var "j" ]))
+    ()
+
+let test_compute_flops () =
+  let compute = gemm_compute ~m:4 ~n:5 ~k:6 in
+  check_int "2*M*N*K" (2 * 4 * 5 * 6) (Compute.total_flops compute);
+  Alcotest.(check (list int)) "output shape" [ 4; 5 ] (Compute.output_shape compute);
+  check_int "input bytes" ((4 * 6 * 4) + (6 * 5 * 4)) (Compute.input_bytes compute);
+  check_int "output bytes" (4 * 5 * 4) (Compute.output_bytes compute)
+
+let test_compute_validation () =
+  let bad_var () =
+    ignore
+      (Compute.v ~name:"bad"
+         ~axes:[ Axis.spatial "i" 4 ]
+         ~inputs:
+           [ { Compute.in_name = "A"; in_shape = [ 4 ]; in_dtype = Dtype.F32 } ]
+         ~out_name:"O"
+         ~body:(Expr.read "A" [ Index.var "q" ])
+         ())
+  in
+  (try
+     bad_var ();
+     Alcotest.fail "unbound variable accepted"
+   with Invalid_argument _ -> ());
+  let out_of_bounds () =
+    ignore
+      (Compute.v ~name:"oob"
+         ~axes:[ Axis.spatial "i" 8 ]
+         ~inputs:
+           [ { Compute.in_name = "A"; in_shape = [ 4 ]; in_dtype = Dtype.F32 } ]
+         ~out_name:"O"
+         ~body:(Expr.read "A" [ Index.var "i" ])
+         ())
+  in
+  (try
+     out_of_bounds ();
+     Alcotest.fail "out-of-bounds access accepted"
+   with Invalid_argument _ -> ());
+  let no_spatial () =
+    ignore
+      (Compute.v ~name:"nospatial"
+         ~axes:[ Axis.reduce "k" 4 ]
+         ~inputs:[]
+         ~out_name:"O" ~body:(Expr.imm 1.0) ())
+  in
+  try
+    no_spatial ();
+    Alcotest.fail "reduce-only domain accepted"
+  with Invalid_argument _ -> ()
+
+let test_access_footprint () =
+  let access =
+    Access.v "I"
+      [ Index.add (Index.mul (Index.const 2) (Index.var "x")) (Index.var "rx") ]
+  in
+  let env name =
+    match name with
+    | "x" -> Interval.v 0 3   (* 2x in 0..6 *)
+    | "rx" -> Interval.v 0 2  (* +rx -> 0..8 *)
+    | _ -> Alcotest.failf "unexpected var %s" name
+  in
+  check_int "strided footprint" 9 (Access.footprint_elems ~env access)
+
+let test_expr_flops () =
+  let body =
+    Expr.mul
+      (Expr.read "A" [ Index.var "i" ])
+      (Expr.read "B" [ Index.var "i" ])
+  in
+  check_int "one multiply" 1 (Expr.flops body);
+  check_int "max counts" 2
+    (Expr.flops (Expr.max_ body (Expr.imm 0.0)))
+
+let () =
+  Alcotest.run "tensor_lang"
+    [ ("index",
+       [ Alcotest.test_case "constant folding" `Quick test_index_fold;
+         Alcotest.test_case "evaluation" `Quick test_index_eval;
+         Alcotest.test_case "variable collection" `Quick test_index_vars;
+         Alcotest.test_case "substitution" `Quick test_index_subst ]);
+      ("interval",
+       [ Alcotest.test_case "construction" `Quick test_interval_basic;
+         Alcotest.test_case "arithmetic" `Quick test_interval_arith;
+         QCheck_alcotest.to_alcotest prop_interval_sound ]);
+      ("compute",
+       [ Alcotest.test_case "gemm flops" `Quick test_compute_flops;
+         Alcotest.test_case "validation rejects bad bodies" `Quick
+           test_compute_validation;
+         Alcotest.test_case "access footprint" `Quick test_access_footprint;
+         Alcotest.test_case "expr flops" `Quick test_expr_flops ]) ]

@@ -1,0 +1,84 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_suite_size () =
+  check_int "32 configurations" 32 (List.length Workloads.Table_iv.all);
+  check_int "8 per class" 8 (List.length Workloads.Table_iv.convs);
+  check_int "8 gemms" 8 (List.length Workloads.Table_iv.gemms);
+  check_int "8 gemvs" 8 (List.length Workloads.Table_iv.gemvs);
+  check_int "8 pools" 8 (List.length Workloads.Table_iv.pools)
+
+let test_all_buildable () =
+  (* Every configuration constructs a valid compute definition. *)
+  List.iter
+    (fun entry ->
+      let op = entry.Workloads.Table_iv.op () in
+      if Ops.Op.flops op <= 0 then
+        Alcotest.failf "%s has no work" entry.Workloads.Table_iv.label)
+    Workloads.Table_iv.all
+
+let test_labels_unique () =
+  let labels =
+    List.map (fun e -> e.Workloads.Table_iv.label) Workloads.Table_iv.all
+  in
+  check_int "no duplicate labels"
+    (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
+let test_paper_entries_exact () =
+  (* Spot-check shapes copied from Table IV. *)
+  let m1 = Option.get (Workloads.Table_iv.find "M1") in
+  let op = m1.Workloads.Table_iv.op () in
+  check_int "M1 flops" (2 * 8192 * 8192 * 8192) (Ops.Op.flops op);
+  check_bool "M1 marked from paper" true m1.Workloads.Table_iv.from_paper;
+  let c1 = Option.get (Workloads.Table_iv.find "C1") in
+  (* C1: out 14x14, 2*N*F*C*X*Y*K*K flops. *)
+  check_int "C1 flops"
+    (2 * 128 * 256 * 256 * 14 * 14 * 3 * 3)
+    (Ops.Op.flops (c1.Workloads.Table_iv.op ()));
+  check_bool "unknown label" true (Workloads.Table_iv.find "Z9" = None);
+  check_int "table V shapes" 3 (List.length Workloads.Table_iv.table_v)
+
+(* ---------- Report ---------- *)
+
+let test_table_render () =
+  let table =
+    Report.Table.v ~headers:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333"; "4" ] ]
+  in
+  let rendered = Report.Table.render table in
+  check_bool "header present" true
+    (String.length rendered > 0
+    && String.split_on_char '\n' rendered |> List.length = 6);
+  Alcotest.check_raises "ragged rows rejected"
+    (Invalid_argument "Table.v: row width does not match headers") (fun () ->
+      ignore (Report.Table.v ~headers:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_compare_records () =
+  let c =
+    Report.Compare.v ~experiment:"figX" ~quantity:"speedup" ~paper:2.0
+      ~measured:2.2 ~unit_:"x" ()
+  in
+  (match Report.Compare.deviation c with
+  | Some d -> Alcotest.(check (float 1e-9)) "deviation" 0.1 d
+  | None -> Alcotest.fail "expected a deviation");
+  let no_paper =
+    Report.Compare.v ~experiment:"figX" ~quantity:"other" ~measured:1.0
+      ~unit_:"x" ()
+  in
+  check_bool "no deviation without a paper value" true
+    (Report.Compare.deviation no_paper = None);
+  check_int "row width matches headers"
+    (List.length Report.Compare.headers)
+    (List.length (Report.Compare.to_row c))
+
+let () =
+  Alcotest.run "workloads"
+    [ ("table_iv",
+       [ Alcotest.test_case "suite size" `Quick test_suite_size;
+         Alcotest.test_case "all buildable" `Quick test_all_buildable;
+         Alcotest.test_case "unique labels" `Quick test_labels_unique;
+         Alcotest.test_case "paper entries exact" `Quick
+           test_paper_entries_exact ]);
+      ("report",
+       [ Alcotest.test_case "table render" `Quick test_table_render;
+         Alcotest.test_case "compare records" `Quick test_compare_records ]) ]
