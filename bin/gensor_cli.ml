@@ -127,6 +127,111 @@ let model_cmd =
     Term.(
       ret (const run $ device_arg $ method_arg $ model_name_arg $ batch_arg))
 
+(* ---------- verify ---------- *)
+
+let verify_device_arg =
+  let doc = "Device preset to verify against: rtx4090, orin or all." in
+  Arg.(value & opt string "all" & info [ "device"; "d" ] ~docv:"DEVICE" ~doc)
+
+let verify_methods_arg =
+  let doc = "Comma-separated methods whose schedules are verified." in
+  Arg.(
+    value
+    & opt string "gensor,roller,ansor"
+    & info [ "methods"; "m" ] ~docv:"METHODS" ~doc)
+
+let verify_op_arg =
+  let doc = "Restrict to one workload label (default: all of Table IV)." in
+  Arg.(value & opt (some string) None & info [ "op"; "o" ] ~docv:"LABEL" ~doc)
+
+let verbose_arg =
+  let doc = "Also print Warning- and Info-severity diagnostics." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let verify_cmd =
+  let run device methods_csv op_filter verbose =
+    let devices =
+      if String.lowercase_ascii device = "all" then Ok Hardware.Presets.all
+      else Result.map (fun hw -> [ hw ]) (resolve_device device)
+    in
+    let methods =
+      List.fold_right
+        (fun name acc ->
+          Result.bind acc (fun ms ->
+              Result.map (fun m -> m :: ms) (resolve_method name)))
+        (String.split_on_char ',' methods_csv)
+        (Ok [])
+    in
+    let entries =
+      match op_filter with
+      | None -> Ok Workloads.Table_iv.all
+      | Some label -> (
+        match Workloads.Table_iv.find label with
+        | Some e -> Ok [ e ]
+        | None -> Error (`Msg (Fmt.str "unknown workload %s" label)))
+    in
+    match (devices, methods, entries) with
+    | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+      `Error (false, m)
+    | Ok devices, Ok methods, Ok entries ->
+      let total_errors = ref 0 and total_warnings = ref 0 in
+      let rows = ref [] in
+      List.iter
+        (fun hw ->
+          List.iter
+            (fun entry ->
+              let op = entry.Workloads.Table_iv.op () in
+              List.iter
+                (fun method_ ->
+                  let output = method_.Pipeline.Methods.compile ~hw op in
+                  let diags =
+                    Verify.run output.Pipeline.Methods.etir ~hw
+                  in
+                  let errors = Verify.Diagnostic.count Verify.Diagnostic.Error diags in
+                  let warnings =
+                    Verify.Diagnostic.count Verify.Diagnostic.Warning diags
+                  in
+                  total_errors := !total_errors + errors;
+                  total_warnings := !total_warnings + warnings;
+                  rows :=
+                    [ Hardware.Gpu_spec.name hw;
+                      entry.Workloads.Table_iv.label;
+                      method_.Pipeline.Methods.name;
+                      string_of_int errors; string_of_int warnings;
+                      (if errors > 0 then "ILLEGAL" else "ok") ]
+                    :: !rows;
+                  List.iter
+                    (fun d ->
+                      let open Verify.Diagnostic in
+                      if is_error d || verbose then
+                        Fmt.pr "%s/%s/%s %a@."
+                          (Hardware.Gpu_spec.name hw)
+                          entry.Workloads.Table_iv.label
+                          method_.Pipeline.Methods.name pp d)
+                    (Verify.Diagnostic.by_severity diags))
+                methods)
+            entries)
+        devices;
+      Report.Table.print
+        (Report.Table.v
+           ~headers:[ "device"; "op"; "method"; "errors"; "warnings"; "verdict" ]
+           (List.rev !rows));
+      Fmt.pr "@.verified %d schedules: %d error(s), %d warning(s)@."
+        (List.length !rows) !total_errors !total_warnings;
+      if !total_errors > 0 then
+        `Error (false, "error-severity diagnostics found")
+      else `Ok ()
+  in
+  let doc =
+    "Run the bounds, race and lint passes over every schedule the selected \
+     methods produce for the Table-IV workloads."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(
+      ret
+        (const run $ verify_device_arg $ verify_methods_arg $ verify_op_arg
+       $ verbose_arg))
+
 (* ---------- devices ---------- *)
 
 let devices_cmd =
@@ -140,4 +245,7 @@ let devices_cmd =
 let () =
   let doc = "Gensor: graph-based construction tensor compilation (reproduction)" in
   let info = Cmd.info "gensor" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; ops_cmd; model_cmd; devices_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; ops_cmd; model_cmd; devices_cmd; verify_cmd ]))

@@ -70,4 +70,9 @@ let ok_capacity etir ~hw =
   List.for_all (fun v -> v.level < 0) (check etir ~hw)
 
 let pp_violation ppf v =
-  Fmt.pf ppf "%s: %d > %d" v.what v.required_bytes v.capacity_bytes
+  if v.level < 0 then
+    Fmt.pf ppf "launch limit (%s): %d exceeds the cap of %d" v.what
+      v.required_bytes v.capacity_bytes
+  else
+    Fmt.pf ppf "level %d (%s): %d bytes exceed the %d-byte capacity" v.level
+      v.what v.required_bytes v.capacity_bytes

@@ -19,4 +19,7 @@ val ok : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> bool
     to intermediate construction states, which may transiently exceed the
     threads-per-block cap while upper-level tiles grow. *)
 val ok_capacity : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> bool
+
+(** Renders the level (or "launch limit" for [level = -1]), the violated
+    resource and both byte counts. *)
 val pp_violation : violation Fmt.t

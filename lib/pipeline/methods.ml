@@ -22,19 +22,42 @@ let simulated_opt_time output =
     ~analysis_steps:output.analysis_steps
     ~measure_trials:output.measure_trials ()
 
+(* Debug-mode legality assertion.  With verification on, every state a
+   method emits is run through the {!Verify} passes; an Error-severity
+   diagnostic means the method shipped an illegal schedule into the
+   comparison and raises immediately.  Opt in with GENSOR_VERIFY=1 (any
+   value but "0"/"false") or programmatically via [debug_verify]. *)
+let debug_verify =
+  ref
+    (match Sys.getenv_opt "GENSOR_VERIFY" with
+    | None | Some ("" | "0" | "false") -> false
+    | Some _ -> true)
+
+let verified ~method_name ~hw op output =
+  if !debug_verify then begin
+    match Verify.Diagnostic.errors (Verify.run output.etir ~hw) with
+    | [] -> ()
+    | errors ->
+      failwith
+        (Fmt.str "@[<v>%s emitted an illegal schedule for %s:@,%a@]"
+           method_name (Ops.Op.name op) Verify.Diagnostic.pp_report errors)
+  end;
+  output
+
 let gensor ?(config = Gensor.Optimizer.default_config) ?(name = "Gensor") () =
   { name;
     compile =
       (fun ~hw op ->
         let r = Gensor.Optimizer.optimize ~config ~hw (Ops.Op.compute op) in
-        { etir = r.Gensor.Optimizer.etir;
-          metrics = r.Gensor.Optimizer.metrics;
-          analysis_steps =
-            r.Gensor.Optimizer.states_explored
-            + r.Gensor.Optimizer.candidates_evaluated;
-          tree_steps = 0;
-          measure_trials = 0;
-          wall_s = r.Gensor.Optimizer.wall_time_s }) }
+        verified ~method_name:name ~hw op
+          { etir = r.Gensor.Optimizer.etir;
+            metrics = r.Gensor.Optimizer.metrics;
+            analysis_steps =
+              r.Gensor.Optimizer.states_explored
+              + r.Gensor.Optimizer.candidates_evaluated;
+            tree_steps = 0;
+            measure_trials = 0;
+            wall_s = r.Gensor.Optimizer.wall_time_s }) }
 
 (* Table VI ablations. *)
 let gensor_without_vthread () =
@@ -52,12 +75,13 @@ let roller () =
     compile =
       (fun ~hw op ->
         let r = Roller.construct ~hw (Ops.Op.compute op) in
-        { etir = r.Roller.etir;
-          metrics = r.Roller.metrics;
-          analysis_steps = 0;
-          tree_steps = r.Roller.candidates_examined;
-          measure_trials = 0;
-          wall_s = r.Roller.wall_time_s }) }
+        verified ~method_name:"Roller" ~hw op
+          { etir = r.Roller.etir;
+            metrics = r.Roller.metrics;
+            analysis_steps = 0;
+            tree_steps = r.Roller.candidates_examined;
+            measure_trials = 0;
+            wall_s = r.Roller.wall_time_s }) }
 
 let ansor ?(n_trials = Ansor.Search.default_config.Ansor.Search.n_trials) () =
   { name = "Ansor";
@@ -65,24 +89,26 @@ let ansor ?(n_trials = Ansor.Search.default_config.Ansor.Search.n_trials) () =
       (fun ~hw op ->
         let config = { Ansor.Search.default_config with n_trials } in
         let r = Ansor.Search.search ~config ~hw (Ops.Op.compute op) in
-        { etir = r.Ansor.Search.etir;
-          metrics = r.Ansor.Search.metrics;
-          analysis_steps = 0;
-          tree_steps = 0;
-          measure_trials = r.Ansor.Search.trials;
-          wall_s = r.Ansor.Search.wall_time_s }) }
+        verified ~method_name:"Ansor" ~hw op
+          { etir = r.Ansor.Search.etir;
+            metrics = r.Ansor.Search.metrics;
+            analysis_steps = 0;
+            tree_steps = 0;
+            measure_trials = r.Ansor.Search.trials;
+            wall_s = r.Ansor.Search.wall_time_s }) }
 
 let cublas () =
   { name = "cuBLAS";
     compile =
       (fun ~hw op ->
         let r = Vendor.Cublas.compile ~hw op in
-        { etir = r.Vendor.Cublas.etir;
-          metrics = r.Vendor.Cublas.metrics;
-          analysis_steps = 0;
-          tree_steps = 0;
-          measure_trials = 0;
-          wall_s = r.Vendor.Cublas.wall_time_s }) }
+        verified ~method_name:"cuBLAS" ~hw op
+          { etir = r.Vendor.Cublas.etir;
+            metrics = r.Vendor.Cublas.metrics;
+            analysis_steps = 0;
+            tree_steps = 0;
+            measure_trials = 0;
+            wall_s = r.Vendor.Cublas.wall_time_s }) }
 
 (* The standard comparison set of §V-A. *)
 let standard () = [ cublas (); ansor (); roller (); gensor () ]

@@ -17,6 +17,11 @@ type t = {
 (** Simulated optimisation time of one compile (see {!Sim_time}). *)
 val simulated_opt_time : output -> float
 
+(** Debug-mode legality assertion: when true, every compiled schedule is run
+    through {!Verify.run} and any Error-severity diagnostic raises [Failure].
+    Initialised from the GENSOR_VERIFY environment variable ("1" to enable). *)
+val debug_verify : bool ref
+
 val gensor : ?config:Gensor.Optimizer.config -> ?name:string -> unit -> t
 
 (** Table VI ablations. *)

@@ -1,0 +1,13 @@
+(** Bounds pass: affine-interval legality of every tensor access under the
+    ETIR tiling.
+
+    Places the last (highest-coordinate) tile along every axis and bounds
+    each access's index region with {!Tensor_lang.Interval} arithmetic, at
+    block granularity (the level-1 tile) and thread granularity (the range
+    the thread/vthread decomposition enumerates).  Structurally illegal
+    tiles (wider than their axis, vthreads wider than the thread tile) and
+    the accesses they drive out of bounds are [Error]s; non-dividing tiles
+    whose boundary overrun a guard would mask are [Warning]s.  Dividing-tile
+    schedules produce no diagnostics. *)
+
+val check : Sched.Etir.t -> Diagnostic.t list

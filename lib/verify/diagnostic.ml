@@ -1,0 +1,56 @@
+(* Diagnostics of the schedule legality verifier.
+
+   Every finding carries the pass that produced it, a human-readable location
+   (axis, kernel line, tensor) precise enough to act on, and a severity:
+   [Error] marks a schedule or kernel that must not ship (out-of-bounds
+   access, data race, emitted text contradicting the schedule), [Warning]
+   marks legality debts a guard would repay (non-dividing tiles), [Info] is
+   advisory. *)
+
+type severity = Error | Warning | Info
+type pass = Bounds | Race | Lint
+
+type t = {
+  severity : severity;
+  pass : pass;
+  loc : string;
+  message : string;
+}
+
+let v severity pass ~loc fmt =
+  Fmt.kstr (fun message -> { severity; pass; loc; message }) fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pass_to_string = function
+  | Bounds -> "bounds"
+  | Race -> "race"
+  | Lint -> "lint"
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let count severity ds = List.length (List.filter (fun d -> d.severity = severity) ds)
+
+(* Errors first, then warnings, then infos; stable within a severity. *)
+let by_severity ds =
+  let rank = function Error -> 0 | Warning -> 1 | Info -> 2 in
+  List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) ds
+
+let pp ppf d =
+  Fmt.pf ppf "[%s/%s] %s: %s"
+    (pass_to_string d.pass)
+    (severity_to_string d.severity)
+    d.loc d.message
+
+let pp_report ppf ds =
+  if ds = [] then Fmt.pf ppf "clean (no diagnostics)"
+  else begin
+    Fmt.pf ppf "@[<v>%d error(s), %d warning(s), %d info(s)" (count Error ds)
+      (count Warning ds) (count Info ds);
+    List.iter (fun d -> Fmt.pf ppf "@,%a" pp d) (by_severity ds);
+    Fmt.pf ppf "@]"
+  end

@@ -1,0 +1,35 @@
+(** Diagnostics of the schedule legality verifier.
+
+    [Error] marks a schedule or kernel that must not ship (out-of-bounds
+    access, data race, emitted text contradicting the schedule); [Warning]
+    marks legality debts a boundary guard would repay (non-dividing tiles);
+    [Info] is advisory. *)
+
+type severity = Error | Warning | Info
+type pass = Bounds | Race | Lint
+
+type t = {
+  severity : severity;
+  pass : pass;
+  loc : string;  (** axis, kernel line or tensor the finding points at *)
+  message : string;
+}
+
+(** [v severity pass ~loc fmt ...] builds a diagnostic with a formatted
+    message. *)
+val v :
+  severity -> pass -> loc:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_to_string : severity -> string
+val pass_to_string : pass -> string
+val is_error : t -> bool
+val errors : t list -> t list
+val count : severity -> t list -> int
+
+(** Errors first, then warnings, then infos; stable within a severity. *)
+val by_severity : t list -> t list
+
+val pp : t Fmt.t
+
+(** Summary line plus every diagnostic, severity-sorted. *)
+val pp_report : t list Fmt.t

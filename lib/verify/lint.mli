@@ -1,0 +1,6 @@
+(** Kernel lint pass: emitted CUDA/host text cross-checked against
+    ETIR-derived facts — shared-array extents vs the footprint model, launch
+    dims vs the ETIR thread/grid shape, accumulator extent vs the level-0
+    tile, unroll pragmas only on constant-trip loops, balanced structure. *)
+
+val check : Sched.Etir.t -> kernel:string -> host:string -> Diagnostic.t list

@@ -1,0 +1,48 @@
+(* Schedule legality verifier: the static-analysis gate between scheduling
+   and codegen.
+
+   Every compilation method in this reproduction is scored by the same
+   analytical model, so one illegal-but-well-scored schedule silently
+   corrupts every relative comparison.  [run] proves three families of
+   facts about a scheduled state and its emitted kernel:
+
+   - {!Bounds}: affine-interval bounds of every tensor access under the
+     tiling, plus tile-vs-extent divisibility (guard obligations);
+   - {!Race}: happens-before legality of the staged shared-memory
+     reduction (missing or divergent __syncthreads());
+   - {!Lint}: the emitted CUDA/host text against ETIR-derived facts
+     (shared-array extents, launch dims, unroll pragmas).
+
+   Capacity and launch-limit violations (the paper's §IV-C memory check,
+   {!Costmodel.Mem_check}) are folded in as bounds-pass errors so that one
+   call gives the complete legality verdict for a final state. *)
+
+module Diagnostic = Diagnostic
+module Bounds = Bounds
+module Race = Race
+module Lint = Lint
+
+let capacity etir ~hw =
+  List.map
+    (fun v ->
+      let loc =
+        if v.Costmodel.Mem_check.level < 0 then "launch limits"
+        else Fmt.str "level %d capacity" v.Costmodel.Mem_check.level
+      in
+      Diagnostic.v Diagnostic.Error Diagnostic.Bounds ~loc "%a"
+        Costmodel.Mem_check.pp_violation v)
+    (Costmodel.Mem_check.check etir ~hw)
+
+(* Verify a state against caller-supplied kernel text: the entry point for
+   linting mutated or externally post-processed kernels. *)
+let run_text etir ~hw ~kernel ~host =
+  capacity etir ~hw
+  @ Bounds.check etir
+  @ Race.check etir ~kernel
+  @ Lint.check etir ~kernel ~host
+
+let run etir ~hw =
+  run_text etir ~hw ~kernel:(Codegen.Cuda.emit etir)
+    ~host:(Codegen.Cuda.emit_host etir)
+
+let ok etir ~hw = Diagnostic.errors (run etir ~hw) = []

@@ -1,0 +1,30 @@
+(** Schedule legality verifier: the static-analysis gate between scheduling
+    and codegen.
+
+    [run] executes the three passes — {!Bounds} (interval bounds of every
+    access under the tiling), {!Race} (happens-before legality of the staged
+    shared-memory reduction), {!Lint} (emitted text vs ETIR facts) — plus
+    the §IV-C capacity/launch checks, and returns every finding.  A state
+    with no [Error]-severity diagnostics is legal to ship; [Warning]s mark
+    boundary-guard obligations of non-dividing tiles. *)
+
+module Diagnostic = Diagnostic
+module Bounds = Bounds
+module Race = Race
+module Lint = Lint
+
+(** All diagnostics of the state: capacity, bounds, race and lint passes
+    over the kernel/host text emitted by {!Codegen.Cuda}. *)
+val run : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> Diagnostic.t list
+
+(** [run_text] verifies against caller-supplied kernel/host text — the
+    entry point for mutated or externally post-processed kernels. *)
+val run_text :
+  Sched.Etir.t ->
+  hw:Hardware.Gpu_spec.t ->
+  kernel:string ->
+  host:string ->
+  Diagnostic.t list
+
+(** No [Error]-severity diagnostics. *)
+val ok : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> bool

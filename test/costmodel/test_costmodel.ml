@@ -162,6 +162,81 @@ let test_mem_check () =
   check_bool "launch violation fails full check" false
     (Costmodel.Mem_check.ok wide ~hw)
 
+(* Each violation kind, rendered: the message must name the level (or the
+   launch limit) and both byte counts. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let violation_of ~level ~what etir =
+  match
+    List.find_opt
+      (fun v ->
+        v.Costmodel.Mem_check.level = level
+        && v.Costmodel.Mem_check.what = what)
+      (Costmodel.Mem_check.check etir ~hw)
+  with
+  | Some v -> v
+  | None -> Alcotest.failf "no %s violation at level %d" what level
+
+let assert_renders v ~names_level =
+  let open Costmodel.Mem_check in
+  let msg = Fmt.str "%a" pp_violation v in
+  check_bool (Fmt.str "message %S names the level" msg) true
+    (contains msg names_level);
+  check_bool "message names the required count" true
+    (contains msg (string_of_int v.required_bytes));
+  check_bool "message names the capacity" true
+    (contains msg (string_of_int v.capacity_bytes))
+
+let test_pp_violation_register_capacity () =
+  (* 16x16 accumulator alone exceeds the 255-register thread slice. *)
+  let e = Etir.with_stile (gemm_etir ()) ~level:0 ~dim:0 16 in
+  let e = Etir.with_stile e ~level:0 ~dim:1 16 in
+  let v = violation_of ~level:0 ~what:"per-thread registers" e in
+  assert_renders v ~names_level:"level 0"
+
+let test_pp_violation_smem_capacity () =
+  (* 256x256 block with a 64-wide reduce chunk stages 128 KiB > 100 KiB. *)
+  let e = Etir.with_stile (gemm_etir ()) ~level:1 ~dim:0 256 in
+  let e = Etir.with_stile e ~level:1 ~dim:1 256 in
+  let e = Etir.with_rtile e ~level:1 ~dim:0 64 in
+  let v = violation_of ~level:1 ~what:"shared memory per block" e in
+  assert_renders v ~names_level:"level 1";
+  check_int "required is the staged footprint"
+    (Costmodel.Footprint.bytes_at e ~level:1)
+    v.Costmodel.Mem_check.required_bytes
+
+let test_pp_violation_outer_cache () =
+  (* A full 4096^3 GEMM wave tile (192 MiB) cannot fit the 72 MiB L2. *)
+  let e = gemm_etir ~m:4096 ~n:4096 ~k:4096 () in
+  let e = Etir.with_stile e ~level:2 ~dim:0 4096 in
+  let e = Etir.with_stile e ~level:2 ~dim:1 4096 in
+  let e = Etir.with_rtile e ~level:2 ~dim:0 4096 in
+  let v = violation_of ~level:2 ~what:"l2" e in
+  assert_renders v ~names_level:"level 2"
+
+let test_pp_violation_launch_threads () =
+  (* 256x256 block of 1x1 threads asks for 65536 threads per block. *)
+  let e = Etir.with_stile (gemm_etir ()) ~level:1 ~dim:0 256 in
+  let e = Etir.with_stile e ~level:1 ~dim:1 256 in
+  let v = violation_of ~level:(-1) ~what:"threads per block" e in
+  assert_renders v ~names_level:"launch limit";
+  check_int "required is the thread count" 65536
+    v.Costmodel.Mem_check.required_bytes
+
+let test_pp_violation_launch_register_file () =
+  (* 1024 threads x 320 B of registers exceed the 256 KiB SM file while
+     each thread and the launch shape stay individually legal. *)
+  let e = Etir.with_stile (gemm_etir ()) ~level:1 ~dim:0 256 in
+  let e = Etir.with_stile e ~level:1 ~dim:1 256 in
+  let e = Etir.with_stile e ~level:0 ~dim:0 8 in
+  let e = Etir.with_stile e ~level:0 ~dim:1 8 in
+  let v = violation_of ~level:(-1) ~what:"register file per block" e in
+  assert_renders v ~names_level:"launch limit"
+
 (* ---------- Model ---------- *)
 
 let test_model_sanity () =
@@ -239,7 +314,17 @@ let () =
          QCheck_alcotest.to_alcotest prop_traffic_positive ]);
       ("conflict", [ Alcotest.test_case "strides" `Quick test_conflict_strides ]);
       ("occupancy", [ Alcotest.test_case "limits" `Quick test_occupancy_limits ]);
-      ("mem_check", [ Alcotest.test_case "categories" `Quick test_mem_check ]);
+      ("mem_check",
+       [ Alcotest.test_case "categories" `Quick test_mem_check;
+         Alcotest.test_case "pp register capacity" `Quick
+           test_pp_violation_register_capacity;
+         Alcotest.test_case "pp smem capacity" `Quick
+           test_pp_violation_smem_capacity;
+         Alcotest.test_case "pp outer cache" `Quick test_pp_violation_outer_cache;
+         Alcotest.test_case "pp launch threads" `Quick
+           test_pp_violation_launch_threads;
+         Alcotest.test_case "pp launch register file" `Quick
+           test_pp_violation_launch_register_file ]);
       ("model",
        [ Alcotest.test_case "sanity" `Quick test_model_sanity;
          Alcotest.test_case "infeasible sentinel" `Quick
