@@ -20,6 +20,11 @@ let tests () =
       Test.make ~name:"gensor-gemm1024"
         (Staged.stage (fun () ->
              ignore (Gensor.Optimizer.optimize ~config:quick_gensor ~hw gemm)));
+      Test.make ~name:"gensor-gemm1024-jobs4"
+        (Staged.stage (fun () ->
+             ignore
+               (Gensor.Optimizer.optimize ~config:quick_gensor ~jobs:4 ~hw
+                  gemm)));
       Test.make ~name:"ansor200-gemm1024"
         (Staged.stage (fun () ->
              let config =
@@ -32,7 +37,11 @@ let tests () =
       Test.make ~name:"costmodel-eval"
         (Staged.stage
            (let etir = Sched.Etir.create gemm in
-            fun () -> ignore (Costmodel.Model.evaluate ~hw etir))) ]
+            fun () -> ignore (Costmodel.Model.evaluate ~hw etir)));
+      Test.make ~name:"costmodel-eval-cached"
+        (Staged.stage
+           (let etir = Sched.Etir.create gemm in
+            fun () -> ignore (Costmodel.Model.evaluate_cached ~hw etir))) ]
 
 let run () =
   Ctx.section "Wall-clock optimiser micro-benchmarks (Bechamel)";

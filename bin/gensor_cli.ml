@@ -148,8 +148,15 @@ let verbose_arg =
   let doc = "Also print Warning- and Info-severity diagnostics." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domain-pool width for parallel compilation (default: GENSOR_JOBS, \
+     else the machine's core count)."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let verify_cmd =
-  let run device methods_csv op_filter verbose =
+  let run device methods_csv op_filter verbose jobs =
     let devices =
       if String.lowercase_ascii device = "all" then Ok Hardware.Presets.all
       else Result.map (fun hw -> [ hw ]) (resolve_device device)
@@ -174,50 +181,51 @@ let verify_cmd =
     | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
       `Error (false, m)
     | Ok devices, Ok methods, Ok entries ->
+      (* Compile every device x op x method cell through the parallel
+         sweep; diagnostics run sequentially afterwards so the report
+         order is stable. *)
+      let ops =
+        List.map
+          (fun entry ->
+            (entry.Workloads.Table_iv.label, entry.Workloads.Table_iv.op ()))
+          entries
+      in
+      let cells = Pipeline.Methods.sweep ?jobs ~devices ~methods ops in
       let total_errors = ref 0 and total_warnings = ref 0 in
-      let rows = ref [] in
-      List.iter
-        (fun hw ->
-          List.iter
-            (fun entry ->
-              let op = entry.Workloads.Table_iv.op () in
-              List.iter
-                (fun method_ ->
-                  let output = method_.Pipeline.Methods.compile ~hw op in
-                  let diags =
-                    Verify.run output.Pipeline.Methods.etir ~hw
-                  in
-                  let errors = Verify.Diagnostic.count Verify.Diagnostic.Error diags in
-                  let warnings =
-                    Verify.Diagnostic.count Verify.Diagnostic.Warning diags
-                  in
-                  total_errors := !total_errors + errors;
-                  total_warnings := !total_warnings + warnings;
-                  rows :=
-                    [ Hardware.Gpu_spec.name hw;
-                      entry.Workloads.Table_iv.label;
-                      method_.Pipeline.Methods.name;
-                      string_of_int errors; string_of_int warnings;
-                      (if errors > 0 then "ILLEGAL" else "ok") ]
-                    :: !rows;
-                  List.iter
-                    (fun d ->
-                      let open Verify.Diagnostic in
-                      if is_error d || verbose then
-                        Fmt.pr "%s/%s/%s %a@."
-                          (Hardware.Gpu_spec.name hw)
-                          entry.Workloads.Table_iv.label
-                          method_.Pipeline.Methods.name pp d)
-                    (Verify.Diagnostic.by_severity diags))
-                methods)
-            entries)
-        devices;
+      let rows =
+        List.map
+          (fun cell ->
+            let open Pipeline.Methods in
+            let hw = cell.cell_device in
+            let diags = Verify.run cell.cell_output.etir ~hw in
+            let errors =
+              Verify.Diagnostic.count Verify.Diagnostic.Error diags
+            in
+            let warnings =
+              Verify.Diagnostic.count Verify.Diagnostic.Warning diags
+            in
+            total_errors := !total_errors + errors;
+            total_warnings := !total_warnings + warnings;
+            List.iter
+              (fun d ->
+                let open Verify.Diagnostic in
+                if is_error d || verbose then
+                  Fmt.pr "%s/%s/%s %a@."
+                    (Hardware.Gpu_spec.name hw)
+                    cell.cell_label cell.cell_method pp d)
+              (Verify.Diagnostic.by_severity diags);
+            [ Hardware.Gpu_spec.name hw; cell.cell_label; cell.cell_method;
+              string_of_int errors; string_of_int warnings;
+              (if errors > 0 then "ILLEGAL" else "ok") ])
+          cells
+      in
       Report.Table.print
         (Report.Table.v
            ~headers:[ "device"; "op"; "method"; "errors"; "warnings"; "verdict" ]
-           (List.rev !rows));
+           rows);
       Fmt.pr "@.verified %d schedules: %d error(s), %d warning(s)@."
-        (List.length !rows) !total_errors !total_warnings;
+        (List.length rows) !total_errors !total_warnings;
+      Fmt.pr "%a@." Pipeline.Methods.pp_cache_stats ();
       if !total_errors > 0 then
         `Error (false, "error-severity diagnostics found")
       else `Ok ()
@@ -230,7 +238,186 @@ let verify_cmd =
     Term.(
       ret
         (const run $ verify_device_arg $ verify_methods_arg $ verify_op_arg
-       $ verbose_arg))
+       $ verbose_arg $ jobs_arg))
+
+(* ---------- bench ---------- *)
+
+(* Hand-rolled compile-time micro-benchmarks (the Bechamel harness lives in
+   bench/wall.ml; this subcommand is the scriptable variant that CI captures
+   as BENCH_compile.json).  Arms are labelled honestly: the "-seq" arm runs
+   with one domain and the memo caches disabled, the plain arm with the
+   requested pool width and caches on — on a single-core host the gap is
+   the memoization/hoisting win alone. *)
+
+type bench_row = {
+  b_name : string;
+  b_ns : float;             (* wall ns per run *)
+  b_runs : int;
+  b_states_s : float option;  (* construction throughput, states/s *)
+  b_hit_rate : float option;  (* memo hit rate while the arm ran *)
+  b_jobs : int;
+}
+
+let memo_snapshot () =
+  List.fold_left
+    (fun (h, m) (_, s) -> (h + s.Parallel.Memo.hits, m + s.Parallel.Memo.misses))
+    (0, 0) (Parallel.Memo.all_stats ())
+
+let bench_arm ~name ~jobs ~runs ?states f =
+  let h0, m0 = memo_snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let states_total = ref 0 in
+  for _ = 1 to runs do
+    states_total := !states_total + f ()
+  done;
+  let dt = (Unix.gettimeofday () -. t0) /. float_of_int runs in
+  let h1, m1 = memo_snapshot () in
+  let lookups = h1 - h0 + (m1 - m0) in
+  let hit_rate =
+    if lookups = 0 then None
+    else Some (float_of_int (h1 - h0) /. float_of_int lookups)
+  in
+  let states_s =
+    match states with
+    | Some () when dt > 0.0 ->
+      Some (float_of_int !states_total /. float_of_int runs /. dt)
+    | _ -> None
+  in
+  Fmt.pr "%-24s %10.3f ms/run%s@." name (dt *. 1e3)
+    (match hit_rate with
+    | Some r -> Fmt.str "  (%.1f%% memo hits)" (100.0 *. r)
+    | None -> "");
+  { b_name = name; b_ns = dt *. 1e9; b_runs = runs; b_states_s = states_s;
+    b_hit_rate = hit_rate; b_jobs = jobs }
+
+let bench_json rows ~jobs ~speedup =
+  let buf = Buffer.create 1024 in
+  let field_opt = function
+    | None -> "null"
+    | Some v -> Fmt.str "%.3f" v
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/1\",\n";
+  Buffer.add_string buf (Fmt.str "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Fmt.str "  \"cpus\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf
+    (Fmt.str "  \"speedup_gensor_vs_seq\": %.3f,\n" speedup);
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Fmt.str
+           "    { \"name\": %S, \"ns_per_run\": %.1f, \"runs\": %d, \
+            \"states_per_s\": %s, \"cache_hit_rate\": %s, \"jobs\": %d }%s\n"
+           r.b_name r.b_ns r.b_runs (field_opt r.b_states_s)
+           (field_opt r.b_hit_rate) r.b_jobs
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let bench_json_arg =
+  let doc = "Write the results as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let bench_quick_arg =
+  let doc = "Fewer repetitions (CI smoke mode)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let bench_cmd =
+  let run json_file quick jobs =
+    let hw = Hardware.Presets.rtx4090 in
+    let gemm = Ops.Op.compute (Ops.Matmul.gemm ~m:1024 ~n:1024 ~k:1024 ()) in
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> Parallel.Pool.default_jobs ()
+    in
+    let runs = if quick then 3 else 8 in
+    let eval_iters = if quick then 20_000 else 100_000 in
+    let quick_gensor =
+      { Gensor.Optimizer.default_config with Gensor.Optimizer.restarts = 4 }
+    in
+    let rows = ref [] in
+    let arm row = rows := row :: !rows in
+    arm
+      (bench_arm ~name:"roller-gemm1024" ~jobs:1 ~runs (fun () ->
+           ignore (Roller.construct ~hw gemm);
+           0));
+    (* Sequential, uncached: the pre-parallel-runtime code path. *)
+    Parallel.Memo.set_enabled false;
+    Parallel.Memo.clear_all ();
+    let seq =
+      bench_arm ~name:"gensor-gemm1024-seq" ~jobs:1 ~runs ~states:() (fun () ->
+          let r =
+            Gensor.Optimizer.optimize ~config:quick_gensor ~jobs:1 ~hw gemm
+          in
+          r.Gensor.Optimizer.states_explored)
+    in
+    arm seq;
+    (* Parallel + memoised: the shipped configuration. *)
+    Parallel.Memo.set_enabled true;
+    Parallel.Memo.clear_all ();
+    let par =
+      bench_arm ~name:"gensor-gemm1024" ~jobs ~runs ~states:() (fun () ->
+          let r =
+            Gensor.Optimizer.optimize ~config:quick_gensor ~jobs ~hw gemm
+          in
+          r.Gensor.Optimizer.states_explored)
+    in
+    arm par;
+    arm
+      (bench_arm ~name:"ansor200-gemm1024" ~jobs ~runs (fun () ->
+           let config =
+             { Ansor.Search.default_config with Ansor.Search.n_trials = 200 }
+           in
+           ignore (Ansor.Search.search ~config ~jobs ~hw gemm);
+           0));
+    let etir =
+      (Gensor.Optimizer.optimize ~config:quick_gensor ~jobs ~hw gemm)
+        .Gensor.Optimizer.etir
+    in
+    arm
+      (bench_arm ~name:"costmodel-eval" ~jobs:1 ~runs:1 (fun () ->
+           for _ = 1 to eval_iters do
+             ignore (Costmodel.Model.evaluate ~hw etir)
+           done;
+           0));
+    (* Rescale the eval arm to per-evaluation cost. *)
+    (match !rows with
+    | r :: rest ->
+      rows := { r with b_ns = r.b_ns /. float_of_int eval_iters } :: rest
+    | [] -> ());
+    arm
+      (bench_arm ~name:"costmodel-eval-cached" ~jobs:1 ~runs:1 (fun () ->
+           for _ = 1 to eval_iters do
+             ignore (Costmodel.Model.evaluate_cached ~hw etir)
+           done;
+           0));
+    (match !rows with
+    | r :: rest ->
+      rows := { r with b_ns = r.b_ns /. float_of_int eval_iters } :: rest
+    | [] -> ());
+    let rows = List.rev !rows in
+    let speedup = seq.b_ns /. par.b_ns in
+    Fmt.pr "@.gensor-gemm1024: %.2fx vs sequential uncached (%d jobs, %d cpus)@."
+      speedup jobs
+      (Domain.recommended_domain_count ());
+    Fmt.pr "%a@." Pipeline.Methods.pp_cache_stats ();
+    (match json_file with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (bench_json rows ~jobs ~speedup);
+      close_out oc;
+      Fmt.pr "wrote %s@." file);
+    `Ok ()
+  in
+  let doc =
+    "Micro-benchmark the optimisers (compile-time wall clock) and \
+     optionally write the results as JSON."
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(ret (const run $ bench_json_arg $ bench_quick_arg $ jobs_arg))
 
 (* ---------- devices ---------- *)
 
@@ -248,4 +435,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; ops_cmd; model_cmd; devices_cmd; verify_cmd ]))
+          [ compile_cmd; ops_cmd; model_cmd; devices_cmd; verify_cmd;
+            bench_cmd ]))

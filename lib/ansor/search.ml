@@ -23,10 +23,12 @@ type config = {
   n_trials : int;       (* total candidate evaluations (= measurements) *)
   population : int;
   mutation_rate : float;
+  batch : int;          (* candidates generated per generation *)
 }
 
 let default_config =
-  { seed = 42; n_trials = 2000; population = 64; mutation_rate = 0.3 }
+  { seed = 42; n_trials = 2000; population = 64; mutation_rate = 0.3;
+    batch = 32 }
 
 type result = {
   etir : Etir.t;
@@ -127,64 +129,110 @@ let normalise genome =
           min v t0)
         genome.vthreads }
 
-let search ?(config = default_config) ?knobs ~hw compute =
+(* The evolutionary loop is generational: each generation draws a batch of
+   children from the current population (all RNG-driven choices made
+   sequentially, in child order), scores the whole batch — the step that
+   models Ansor's parallel hardware measurements, and the one fanned over
+   the domain pool — and then applies best/replacement updates sequentially
+   in batch order.  Every RNG draw and every population update happens on
+   the coordinating domain in a fixed order, so results are bit-identical
+   for any [jobs] value. *)
+let search ?(config = default_config) ?knobs ?jobs ~hw compute =
   let start = Unix.gettimeofday () in
   let knobs = Option.value knobs ~default:Costmodel.Model.default_knobs in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.Pool.default_jobs ()
+  in
   let levels = Hardware.Gpu_spec.schedulable_cache_levels hw in
   let etir0 = Etir.create ~num_levels:levels compute in
   let rng = Rng.create ~seed:config.seed in
   let trials = ref 0 in
   let best = ref None in
   let best_genome = ref None in
-  (* Fitness of a genome; counts one trial per evaluation.  Infeasible
-     candidates burn a trial (Ansor discovers infeasibility by failing to
-     build/run the kernel). *)
-  let fitness genome =
-    incr trials;
+  (* Pure fitness of a genome (safe to run on any domain).  Each evaluation
+     is one trial: infeasible candidates burn theirs too (Ansor discovers
+     infeasibility by failing to build/run the kernel). *)
+  let evaluate genome =
     let etir = to_etir etir0 (normalise genome) in
-    if not (Costmodel.Mem_check.ok etir ~hw) then neg_infinity
+    if not (Costmodel.Mem_check.ok etir ~hw) then (etir, None, neg_infinity)
     else begin
-      let metrics = Costmodel.Model.evaluate ~knobs ~hw etir in
-      let score = Costmodel.Metrics.score metrics in
+      let metrics = Costmodel.Model.evaluate_cached ~knobs ~hw etir in
+      (etir, Some metrics, Costmodel.Metrics.score metrics)
+    end
+  in
+  (* Sequential post-pass over a scored batch: incumbent update (first-seen
+     wins ties, as in the steady-state loop). *)
+  let register genome (etir, metrics_opt, score) =
+    incr trials;
+    match metrics_opt with
+    | None -> ()
+    | Some metrics ->
       (match !best with
        | Some (_, _, best_score) when best_score >= score -> ()
        | Some _ | None ->
          best := Some (etir, metrics, score);
-         best_genome := Some genome);
-      score
-    end
+         best_genome := Some genome)
   in
   let pop_size = max 4 config.population in
+  (* Initial population: genomes sampled sequentially (fixed RNG order),
+     scored as one parallel batch. *)
+  let init_genomes =
+    let rec sample n acc =
+      if n = 0 then List.rev acc
+      else sample (n - 1) (sample_genome rng etir0 :: acc)
+    in
+    sample pop_size []
+  in
+  let init_scores = Parallel.Pool.map_auto ~jobs evaluate init_genomes in
+  List.iter2 register init_genomes init_scores;
   let population =
-    Array.init pop_size (fun _ ->
-        let g = sample_genome rng etir0 in
-        (g, fitness g))
+    Array.of_list
+      (List.map2 (fun g (_, _, f) -> (g, f)) init_genomes init_scores)
   in
   let tournament () =
     let a = Rng.int rng pop_size and b = Rng.int rng pop_size in
     let ga, fa = population.(a) and gb, fb = population.(b) in
     if fa >= fb then ga else gb
   in
+  let batch_size = max 1 config.batch in
   while !trials < config.n_trials do
-    (* Exploit the incumbent a third of the time; otherwise explore the
-       population by tournament. *)
-    let parent =
-      match !best_genome with
-      | Some g when Rng.float rng < 0.33 -> g
-      | Some _ | None -> tournament ()
+    (* Clamp the generation to the remaining budget so the trial count
+       stays within the configured bound. *)
+    let n = min batch_size (config.n_trials - !trials) in
+    let children =
+      let rec gen k acc =
+        if k = 0 then List.rev acc
+        else begin
+          (* Exploit the incumbent a third of the time; otherwise explore
+             the population by tournament. *)
+          let parent =
+            match !best_genome with
+            | Some g when Rng.float rng < 0.33 -> g
+            | Some _ | None -> tournament ()
+          in
+          let child =
+            if Rng.float rng < config.mutation_rate then
+              mutate rng etir0 parent
+            else crossover rng parent (tournament ())
+          in
+          gen (k - 1) (child :: acc)
+        end
+      in
+      gen n []
     in
-    let child =
-      if Rng.float rng < config.mutation_rate then mutate rng etir0 parent
-      else crossover rng parent (tournament ())
-    in
-    let f = fitness child in
-    (* Replace the loser of a random pair to keep the population fresh. *)
-    let victim =
-      let a = Rng.int rng pop_size and b = Rng.int rng pop_size in
-      let _, fa = population.(a) and _, fb = population.(b) in
-      if fa <= fb then a else b
-    in
-    if f > snd population.(victim) then population.(victim) <- (child, f)
+    let scores = Parallel.Pool.map_auto ~jobs evaluate children in
+    List.iter2
+      (fun child ((_, _, f) as scored) ->
+        register child scored;
+        (* Replace the loser of a random pair to keep the population
+           fresh. *)
+        let victim =
+          let a = Rng.int rng pop_size and b = Rng.int rng pop_size in
+          let _, fa = population.(a) and _, fb = population.(b) in
+          if fa <= fb then a else b
+        in
+        if f > snd population.(victim) then population.(victim) <- (child, f))
+      children scores
   done;
   let etir, metrics =
     match !best with

@@ -9,6 +9,9 @@ type config = {
   n_trials : int;
   population : int;
   mutation_rate : float;
+  batch : int;
+      (** candidates generated (and scored in parallel) per generation;
+          clamped to the remaining trial budget *)
 }
 
 val default_config : config
@@ -20,9 +23,15 @@ type result = {
   wall_time_s : float;
 }
 
+(** [search ~hw compute] runs the generational evolutionary loop.  [jobs]
+    (default [GENSOR_JOBS]) fans each generation's fitness batch over the
+    domain pool — the analogue of Ansor's parallel hardware measurements.
+    RNG draws and population updates stay sequential on the coordinating
+    domain, so results are bit-identical for every [jobs] value. *)
 val search :
   ?config:config ->
   ?knobs:Costmodel.Model.knobs ->
+  ?jobs:int ->
   hw:Hardware.Gpu_spec.t ->
   Tensor_lang.Compute.t ->
   result

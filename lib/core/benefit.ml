@@ -30,10 +30,14 @@ let footprint_exponent = 0.25
 let traffic_exponent = 3.0
 let ilp_overhead = 8.0
 
-let ilp_ratio ~before ~after =
-  let chunk etir = float_of_int (Costmodel.Model.thread_chunk_flops etir) in
-  let eff c = c /. (c +. ilp_overhead) in
-  eff (chunk after) /. eff (chunk before)
+let ilp_eff etir =
+  let chunk = float_of_int (Costmodel.Model.thread_chunk_flops etir) in
+  chunk /. (chunk +. ilp_overhead)
+
+let ilp_ratio ~before ~after = ilp_eff after /. ilp_eff before
+
+let occ_floor ~hw etir =
+  Float.max 0.02 (Costmodel.Occupancy.of_etir etir ~hw).Costmodel.Occupancy.sm_occupancy
 
 (* Parallelism factor: ratio of achievable occupancies.  The paper's
    hardware guidance includes "parallelism features" (§III); without this
@@ -41,24 +45,7 @@ let ilp_ratio ~before ~after =
    depends on it (GEMV, pooling), which is precisely the multi-objective
    edge over Roller's single objective. *)
 let parallelism_ratio ~hw ~before ~after =
-  let occ etir =
-    Float.max 0.02 (Costmodel.Occupancy.of_etir etir ~hw).Costmodel.Occupancy.sm_occupancy
-  in
-  occ after /. occ before
-
-let tiling ~hw ~before ~after ~level =
-  let q = Costmodel.Traffic.bytes_into before ~level in
-  let q' = Costmodel.Traffic.bytes_into after ~level in
-  let f = float_of_int (Costmodel.Footprint.bytes_at before ~level) in
-  let f' = float_of_int (Costmodel.Footprint.bytes_at after ~level) in
-  if q' <= 0.0 || f <= 0.0 || f' <= 0.0 then 0.0
-  else begin
-    let traffic_gain = Float.pow (q /. q') traffic_exponent in
-    let footprint_cost = Float.pow (f' /. f) footprint_exponent in
-    let base = traffic_gain /. footprint_cost in
-    let base = base *. parallelism_ratio ~hw ~before ~after in
-    if level = 0 then base *. ilp_ratio ~before ~after else base
-  end
+  occ_floor ~hw after /. occ_floor ~hw before
 
 (* Eq. 2: Benefit_caching = (L_low + S/B_low) / (L_high + S/B_high).
    Moving the working set S from the slower memory feeding level [cur] into
@@ -90,6 +77,58 @@ let vthread ~(hw : Hardware.Gpu_spec.t) ~before ~after ~dim =
   let conflicts vv = float_of_int (ceil_div x (vv * w)) in
   if conflicts v' <= 0.0 then 0.0 else conflicts v /. conflicts v'
 
+(* Hoisted before-state analyses.  One policy step scores ~25 successors
+   against the same [before] state, and every tiling benefit re-derives that
+   state's traffic, footprint, occupancy and ILP chunk.  A context computes
+   each of these lazily, at most once per (state, level), and is shared
+   across all the successors of the step — the single largest constant-
+   factor saving in construction (see DESIGN.md §8). *)
+type ctx = {
+  ctx_hw : Hardware.Gpu_spec.t;
+  ctx_before : Etir.t;
+  ctx_traffic : float Lazy.t array;  (* Q(T) of [before], per level *)
+  ctx_footprint : int Lazy.t array;  (* F(T) of [before], per level *)
+  ctx_occ : float Lazy.t;            (* floored occupancy of [before] *)
+  ctx_ilp_eff : float Lazy.t;        (* ILP efficiency of [before] *)
+  ctx_caching : float Lazy.t;        (* raw Eq. 2 ratio at [before] *)
+}
+
+let context ~hw before =
+  let levels = Etir.num_levels before + 1 in
+  {
+    ctx_hw = hw;
+    ctx_before = before;
+    ctx_traffic =
+      Array.init levels (fun level ->
+          lazy (Costmodel.Traffic.bytes_into before ~level));
+    ctx_footprint =
+      Array.init levels (fun level ->
+          lazy (Costmodel.Footprint.bytes_at before ~level));
+    ctx_occ = lazy (occ_floor ~hw before);
+    ctx_ilp_eff = lazy (ilp_eff before);
+    ctx_caching = lazy (caching ~hw before);
+  }
+
+let tiling_ctx ctx ~after ~level =
+  let q = Lazy.force ctx.ctx_traffic.(level) in
+  let q' = Costmodel.Traffic.bytes_into after ~level in
+  let f = float_of_int (Lazy.force ctx.ctx_footprint.(level)) in
+  let f' = float_of_int (Costmodel.Footprint.bytes_at after ~level) in
+  if q' <= 0.0 || f <= 0.0 || f' <= 0.0 then 0.0
+  else begin
+    let traffic_gain = Float.pow (q /. q') traffic_exponent in
+    let footprint_cost = Float.pow (f' /. f) footprint_exponent in
+    let base = traffic_gain /. footprint_cost in
+    let base =
+      base *. (occ_floor ~hw:ctx.ctx_hw after /. Lazy.force ctx.ctx_occ)
+    in
+    if level = 0 then base *. (ilp_eff after /. Lazy.force ctx.ctx_ilp_eff)
+    else base
+  end
+
+let tiling ~hw ~before ~after ~level =
+  tiling_ctx (context ~hw before) ~after ~level
+
 (* Benefit of one legal transition [before --action--> after].  Zero when the
    successor violates a cache capacity (the paper's memory check).  Launch
    limits are not checked here: construction may pass through transiently
@@ -100,13 +139,17 @@ let vthread ~(hw : Hardware.Gpu_spec.t) ~before ~after ~dim =
    ratios (memory-level latency gaps are 3-8x while tiling gains hover near
    2x), so it is squashed to (0, 1) before the annealing multiplier scales
    it; otherwise the cache switch fires before a level's tiles have grown. *)
-let of_action ~hw ~before ~after (action : Action.t) =
-  if not (Costmodel.Mem_check.ok_capacity after ~hw) then 0.0
+let of_action_ctx ctx ~after (action : Action.t) =
+  if not (Costmodel.Mem_check.ok_capacity after ~hw:ctx.ctx_hw) then 0.0
   else
     match action with
     | Action.Tile { level; _ } | Action.Rtile { level; _ } ->
-      tiling ~hw ~before ~after ~level
+      tiling_ctx ctx ~after ~level
     | Action.Cache ->
-      let ratio = caching ~hw before in
+      let ratio = Lazy.force ctx.ctx_caching in
       ratio /. (1.0 +. ratio)
-    | Action.Set_vthread { dim; _ } -> vthread ~hw ~before ~after ~dim
+    | Action.Set_vthread { dim; _ } ->
+      vthread ~hw:ctx.ctx_hw ~before:ctx.ctx_before ~after ~dim
+
+let of_action ~hw ~before ~after action =
+  of_action_ctx (context ~hw before) ~after action

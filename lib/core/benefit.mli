@@ -37,6 +37,13 @@ val vthread :
   dim:int ->
   float
 
+(** Hoisted analyses of one [before] state (traffic, footprint, occupancy,
+    ILP chunk, Eq. 2 ratio), computed lazily and shared across every
+    successor scored against that state.  Build once per policy step. *)
+type ctx
+
+val context : hw:Hardware.Gpu_spec.t -> Sched.Etir.t -> ctx
+
 (** Benefit of a legal transition; 0 when the successor fails the memory
     check (paper §IV-C). *)
 val of_action :
@@ -45,3 +52,7 @@ val of_action :
   after:Sched.Etir.t ->
   Sched.Action.t ->
   float
+
+(** [of_action] against a prebuilt before-state context — identical result,
+    without recomputing the before-state analyses per successor. *)
+val of_action_ctx : ctx -> after:Sched.Etir.t -> Sched.Action.t -> float

@@ -72,8 +72,11 @@ let sized_anneal_config base compute ~levels =
    the new shape (the paper's ongoing-work direction: real-time
    re-optimisation of dynamic networks).  Warm chains run a shortened
    anneal — they refine instead of rebuilding. *)
-let optimize ?(config = default_config) ?warm_start ~hw compute =
+let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
   let start = Unix.gettimeofday () in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Parallel.Pool.default_jobs ()
+  in
   let levels = Hardware.Gpu_spec.schedulable_cache_levels hw in
   let initial =
     match warm_start with
@@ -104,55 +107,85 @@ let optimize ?(config = default_config) ?warm_start ~hw compute =
     if intensity < 8.0 then min 4 (max 1 config.restarts)
     else max 1 config.restarts
   in
+  (* Chain RNG streams are split from the master sequentially, in chain
+     order, *before* the fan-out: the streams each chain sees are a pure
+     function of the seed and the restart count, never of domain
+     scheduling.  This is the keystone of the jobs-invariance guarantee. *)
+  let chain_rngs =
+    let rec split n acc =
+      if n = 0 then List.rev acc else split (n - 1) (Rng.split rng :: acc)
+    in
+    split restarts []
+  in
   let outcomes =
-    List.init restarts (fun _ ->
-        let chain_rng = Rng.split rng in
-        Anneal.run ~hw ~rng:chain_rng ~config:anneal_config initial)
+    Parallel.Pool.map_auto ~jobs
+      (fun chain_rng -> Anneal.run ~hw ~rng:chain_rng ~config:anneal_config initial)
+      chain_rngs
   in
   let states_explored =
     List.fold_left (fun acc o -> acc + o.Anneal.steps) 0 outcomes
   in
-  (* Pool and deduplicate every sampled state; keep only launchable ones. *)
-  let pool : (string, Etir.t) Hashtbl.t = Hashtbl.create 256 in
-  List.iter
-    (fun outcome ->
-      List.iter
-        (fun etir ->
-          let key = Etir.signature etir in
-          if not (Hashtbl.mem pool key) && Costmodel.Mem_check.ok etir ~hw then
-            Hashtbl.add pool key etir)
-        outcome.Anneal.top_results)
-    outcomes;
-  if Hashtbl.length pool = 0 then Hashtbl.add pool (Etir.signature initial) initial;
-  let evaluated = ref 0 in
-  let scored =
-    Hashtbl.fold
-      (fun _ etir acc ->
-        incr evaluated;
-        (etir, Costmodel.Model.evaluate ~knobs:config.knobs ~hw etir) :: acc)
-      pool []
+  (* Pool and deduplicate every sampled state; keep only launchable ones.
+     Deduplication is by evaluation fingerprint (collision-checked), so
+     states differing only in the construction cursor — which evaluate
+     identically — occupy one slot and are scored once.  Insertion order
+     over the (ordered) outcome list fixes the pool order deterministically. *)
+  let pool : (int64, Etir.t list) Hashtbl.t = Hashtbl.create 256 in
+  let pool_order = ref [] in
+  let consider etir =
+    if Costmodel.Mem_check.ok etir ~hw then begin
+      let fp = Etir.fingerprint etir in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt pool fp) in
+      if not (List.exists (Etir.eval_equal etir) bucket) then begin
+        Hashtbl.replace pool fp (etir :: bucket);
+        pool_order := etir :: !pool_order
+      end
+    end
   in
+  List.iter
+    (fun outcome -> List.iter consider outcome.Anneal.top_results)
+    outcomes;
+  let candidates =
+    match List.rev !pool_order with [] -> [ initial ] | states -> states
+  in
+  let scored =
+    Parallel.Pool.map_auto ~jobs
+      (fun etir ->
+        (etir, Costmodel.Model.evaluate_cached ~knobs:config.knobs ~hw etir))
+      candidates
+  in
+  let evaluated = ref (List.length scored) in
   let ranked =
     List.sort
-      (fun (_, a) (_, b) ->
-        compare (Costmodel.Metrics.score b) (Costmodel.Metrics.score a))
+      (fun (ea, a) (eb, b) ->
+        let c =
+          compare (Costmodel.Metrics.score b) (Costmodel.Metrics.score a)
+        in
+        (* Deterministic tie-break so equal-score states rank identically
+           regardless of pool width or hash order. *)
+        if c <> 0 then c else compare (Etir.signature ea) (Etir.signature eb))
       scored
   in
   (* Local polish of the leading states: follow the model's gradient through
      the same action edges while it strictly improves.  This is part of the
      final selection ("the optimization path that promises the highest
      expected efficiency"), not of the profiling-free traversal; it mostly
-     irons out seed variance. *)
+     irons out seed variance.  The leaders' metrics are passed through so
+     the polish does not re-evaluate states scored just above. *)
   let leaders = List.filteri (fun i _ -> i < 4) ranked in
+  let polished3 =
+    Parallel.Pool.map_auto ~jobs
+      (fun (etir, metrics) ->
+        Costmodel.Polish.greedy ~knobs:config.knobs ~budget:32 ~metrics ~hw
+          etir)
+      leaders
+  in
   let polished =
     List.map
-      (fun (etir, _) ->
-        let etir, metrics, evals =
-          Costmodel.Polish.greedy ~knobs:config.knobs ~budget:32 ~hw etir
-        in
+      (fun (etir, metrics, evals) ->
         evaluated := !evaluated + evals;
         (etir, metrics))
-      leaders
+      polished3
   in
   let etir, metrics =
     match polished with

@@ -32,10 +32,17 @@ type result = {
     the annealing budget to a quarter — the incremental re-optimisation the
     paper's ongoing-work section sketches for dynamic networks.  Raises
     [Invalid_argument] if the warm-start schedule's axis structure does not
-    match [compute]. *)
+    match [compute].
+
+    [jobs] (default [Parallel.Pool.default_jobs ()], i.e. [GENSOR_JOBS])
+    fans the restart chains, final scoring and leader polish over a domain
+    pool.  Results are bit-identical for every [jobs] value: chain RNG
+    streams are pre-split sequentially, the candidate pool keeps insertion
+    order, and ranking ties break on the state signature. *)
 val optimize :
   ?config:config ->
   ?warm_start:Sched.Etir.t ->
+  ?jobs:int ->
   hw:Hardware.Gpu_spec.t ->
   Tensor_lang.Compute.t ->
   result

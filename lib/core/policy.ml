@@ -52,24 +52,69 @@ let allowed mode (action : Action.t) =
   | Action.Cache ->
     true
 
+(* The iteration-independent part of a state's transition distribution:
+   every legal successor with its positive base benefit.  This is the
+   expensive part of a policy step (successor generation plus ~25 benefit
+   analyses), and the annealing chain revisits states constantly — via
+   backtracking edges and across restart chains — so it is memoized
+   process-wide.  Only the cache action's weight depends on the iteration
+   (through the annealing multiplier), and the multiplier is strictly
+   positive, so it can be applied at lookup time without changing which
+   transitions survive the positivity filter.  Keys carry the construction
+   cursor (successors depend on it), the mode (it filters actions) and the
+   device. *)
+type base_key = {
+  k_etir : Etir.t;
+  k_hw : Hardware.Gpu_spec.t;
+  k_mode : mode;
+}
+
+let base_memo : (base_key, (Action.t * Etir.t * float) list) Parallel.Memo.t =
+  Parallel.Memo.create ~name:"transitions" ~capacity:8192
+    ~hash:(fun k ->
+      (Int64.to_int (Etir.fingerprint k.k_etir)
+      lxor (Etir.cur_level k.k_etir * 0x01000193)
+      lxor Hashtbl.hash (Hardware.Gpu_spec.name k.k_hw))
+      land max_int)
+    ~equal:(fun a b ->
+      Etir.cur_level a.k_etir = Etir.cur_level b.k_etir
+      && a.k_mode = b.k_mode
+      && Etir.eval_equal a.k_etir b.k_etir
+      && (a.k_hw == b.k_hw || a.k_hw = b.k_hw))
+    ()
+
+let base_weighted ~hw ~mode etir =
+  Parallel.Memo.find_or_add base_memo
+    { k_etir = etir; k_hw = hw; k_mode = mode }
+    (fun () ->
+      (* One hoisted analysis context for the whole successor set — the
+         before-state traffic/footprint/occupancy is identical across
+         them. *)
+      let ctx = Benefit.context ~hw etir in
+      List.filter_map
+        (fun (action, next) ->
+          if not (allowed mode action) then None
+          else begin
+            let benefit = Benefit.of_action_ctx ctx ~after:next action in
+            if benefit <= 0.0 then None else Some (action, next, benefit)
+          end)
+        (Action.successors etir))
+
 (* All legal, positively-weighted transitions with normalised
    probabilities.  The normalisation leaves room for [stay_probability]. *)
 let transitions ~hw ~mode ~iteration etir =
   let weighted =
-    List.filter_map
-      (fun (action, next) ->
-        if not (allowed mode action) then None
-        else begin
-          let benefit = Benefit.of_action ~hw ~before:etir ~after:next action in
-          let benefit =
-            match action with
-            | Action.Cache ->
-              benefit *. cache_multiplier ~midpoint:mode.cache_midpoint ~iteration ()
-            | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ -> benefit
-          in
-          if benefit <= 0.0 then None else Some (action, next, benefit)
-        end)
-      (Action.successors etir)
+    List.map
+      (fun (action, next, benefit) ->
+        let benefit =
+          match action with
+          | Action.Cache ->
+            benefit
+            *. cache_multiplier ~midpoint:mode.cache_midpoint ~iteration ()
+          | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ -> benefit
+        in
+        (action, next, benefit))
+      (base_weighted ~hw ~mode etir)
   in
   let total = List.fold_left (fun acc (_, _, b) -> acc +. b) 0.0 weighted in
   if total <= 0.0 then []

@@ -5,7 +5,7 @@
    the steepest strictly-improving edge until a local optimum or the budget
    runs out. *)
 
-let greedy ?(knobs = Model.default_knobs) ?(budget = 32) ~hw etir =
+let greedy ?(knobs = Model.default_knobs) ?(budget = 32) ?metrics ~hw etir =
   let evaluated = ref 0 in
   let rec step etir metrics budget =
     if budget = 0 then (etir, metrics)
@@ -16,7 +16,7 @@ let greedy ?(knobs = Model.default_knobs) ?(budget = 32) ~hw etir =
             if not (Mem_check.ok next ~hw) then acc
             else begin
               incr evaluated;
-              let m = Model.evaluate ~knobs ~hw next in
+              let m = Model.evaluate_cached ~knobs ~hw next in
               match acc with
               | Some (_, best) when Metrics.score best >= Metrics.score m -> acc
               | Some _ | None ->
@@ -31,6 +31,14 @@ let greedy ?(knobs = Model.default_knobs) ?(budget = 32) ~hw etir =
       | None -> (etir, metrics)
     end
   in
-  let metrics = Model.evaluate ~knobs ~hw etir in
+  (* Callers that already scored the start state pass its metrics in,
+     avoiding a duplicate evaluation of the search leader. *)
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None ->
+      incr evaluated;
+      Model.evaluate_cached ~knobs ~hw etir
+  in
   let etir, metrics = step etir metrics budget in
   (etir, metrics, !evaluated)

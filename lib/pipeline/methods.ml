@@ -112,3 +112,53 @@ let cublas () =
 
 (* The standard comparison set of §V-A. *)
 let standard () = [ cublas (); ansor (); roller (); gensor () ]
+
+(* Sweep: compile every device x op x method cell, fanned over the domain
+   pool.  Each cell is an independent compilation, so this is the
+   coarsest-grained (and best-scaling) parallel axis in the repo; methods
+   that parallelise internally degrade gracefully because nested pool maps
+   run inline.  Cells come back in deterministic device x op x method
+   order regardless of the pool width. *)
+type cell = {
+  cell_device : Hardware.Gpu_spec.t;
+  cell_label : string;
+  cell_op : Ops.Op.t;
+  cell_method : string;
+  cell_output : output;
+}
+
+let sweep ?jobs ~devices ~methods ops =
+  let cells =
+    List.concat_map
+      (fun hw ->
+        List.concat_map
+          (fun (label, op) ->
+            List.map (fun method_ -> (hw, label, op, method_)) methods)
+          ops)
+      devices
+  in
+  Parallel.Pool.map_auto ?jobs
+    (fun (hw, label, op, method_) ->
+      { cell_device = hw;
+        cell_label = label;
+        cell_op = op;
+        cell_method = method_.name;
+        cell_output = method_.compile ~hw op })
+    cells
+
+(* One-line memo-cache summary for sweep reports. *)
+let pp_cache_stats ppf () =
+  match Costmodel.Model.cache_stats () with
+  | [] -> Fmt.pf ppf "memo caches: disabled"
+  | stats ->
+    let pp_one ppf (name, s) =
+      let open Parallel.Memo in
+      let lookups = s.hits + s.misses in
+      let rate =
+        if lookups = 0 then 0.0
+        else 100.0 *. float_of_int s.hits /. float_of_int lookups
+      in
+      Fmt.pf ppf "%s %d/%d hits (%.1f%%), %d entries, %d evicted" name s.hits
+        lookups rate s.entries s.evictions
+    in
+    Fmt.pf ppf "memo caches: %a" (Fmt.list ~sep:Fmt.semi pp_one) stats

@@ -34,3 +34,27 @@ val cublas : unit -> t
 
 (** cuBLAS, Ansor, Roller, Gensor — the §V-A comparison set. *)
 val standard : unit -> t list
+
+(** One compiled cell of a sweep. *)
+type cell = {
+  cell_device : Hardware.Gpu_spec.t;
+  cell_label : string;
+  cell_op : Ops.Op.t;
+  cell_method : string;
+  cell_output : output;
+}
+
+(** [sweep ~devices ~methods ops] compiles every device x op x method
+    cell, fanning the cells over the domain pool ([jobs] defaults to
+    [GENSOR_JOBS]).  Results come back in device x op x method order
+    regardless of the pool width. *)
+val sweep :
+  ?jobs:int ->
+  devices:Hardware.Gpu_spec.t list ->
+  methods:t list ->
+  (string * Ops.Op.t) list ->
+  cell list
+
+(** One-line hit/miss summary of the cost-model memo caches, for sweep
+    report footers. *)
+val pp_cache_stats : unit Fmt.t

@@ -23,6 +23,7 @@ type t = {
   stiles : int array array;   (* (L+1) rows; row l = spatial tiles at level l *)
   rtiles : int array array;   (* (L+1) rows; row l = reduce tiles at level l *)
   vthreads : int array;       (* per spatial dimension *)
+  mutable fp : int64;         (* memoized fingerprint; 0 = not yet computed *)
 }
 
 let compute t = t.compute
@@ -66,7 +67,8 @@ let create ?(num_levels = 2) compute =
   { compute; num_levels; cur_level = num_levels;
     stiles = Array.make_matrix (num_levels + 1) n_spatial 1;
     rtiles = Array.make_matrix (num_levels + 1) (max n_reduce 1) 1;
-    vthreads = Array.make n_spatial 1 }
+    vthreads = Array.make n_spatial 1;
+    fp = 0L }
 
 (* Structural invariants; used by tests and re-checked after every action. *)
 let validate t =
@@ -202,17 +204,17 @@ let with_cur_level t cur_level =
 let with_stile t ~level ~dim size =
   let stiles = Array.map Array.copy t.stiles in
   stiles.(level).(dim) <- size;
-  { t with stiles }
+  { t with stiles; fp = 0L }
 
 let with_rtile t ~level ~dim size =
   let rtiles = Array.map Array.copy t.rtiles in
   rtiles.(level).(dim) <- size;
-  { t with rtiles }
+  { t with rtiles; fp = 0L }
 
 let with_vthread t ~dim v =
   let vthreads = Array.copy t.vthreads in
   vthreads.(dim) <- v;
-  { t with vthreads }
+  { t with vthreads; fp = 0L }
 
 (* Re-aim a finished configuration at a same-structured compute definition
    with different extents (dynamic shapes, template dispatch).  Tile sizes
@@ -232,7 +234,50 @@ let retarget t compute' =
     else Array.map (clamp_row rext) t.rtiles
   in
   let vthreads = Array.mapi (fun i v -> min v stiles.(0).(i)) t.vthreads in
-  { t with compute = compute'; stiles; rtiles; vthreads }
+  { t with compute = compute'; stiles; rtiles; vthreads; fp = 0L }
+
+(* 64-bit structural hash over everything the cost model reads: compute
+   identity and extents, level count, every tile and the vthread vector.
+   [cur_level] is deliberately excluded — it is a construction cursor, not
+   part of the tensor program, so states differing only in it evaluate
+   identically and should share memo entries and dedup slots.  The hash is
+   memoized in the state (all update paths reset it), making repeated cache
+   probes on the same state nearly free. *)
+let mix64 h v =
+  let open Int64 in
+  let z = add (logxor h (mul v 0x9E3779B97F4A7C15L)) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let fingerprint t =
+  if t.fp <> 0L then t.fp
+  else begin
+    let h = ref (Int64.of_int (Hashtbl.hash (Compute.name t.compute))) in
+    let add v = h := mix64 !h (Int64.of_int v) in
+    add t.num_levels;
+    Array.iter add (spatial_extents t);
+    Array.iter add (reduce_extents t);
+    Array.iter (Array.iter add) t.stiles;
+    Array.iter (Array.iter add) t.rtiles;
+    Array.iter add t.vthreads;
+    let fp = if !h = 0L then 1L else !h in
+    t.fp <- fp;
+    fp
+  end
+
+(* Exact evaluation identity backing the fingerprint: memo caches re-check
+   this on every probe so a hash collision can only cost a recompute. *)
+let eval_equal a b =
+  a == b
+  || (fingerprint a = fingerprint b
+     && a.num_levels = b.num_levels
+     && (a.compute == b.compute
+        || (Compute.name a.compute = Compute.name b.compute
+           && spatial_extents a = spatial_extents b
+           && reduce_extents a = reduce_extents b))
+     && a.stiles = b.stiles && a.rtiles = b.rtiles
+     && a.vthreads = b.vthreads)
 
 (* Compact canonical descriptor; used as a state key by the construction
    graph and for deduplicating top results. *)

@@ -88,5 +88,16 @@ val retarget : t -> Tensor_lang.Compute.t -> t
 (** Canonical state key for graph memoisation and deduplication. *)
 val signature : t -> string
 
+(** 64-bit structural hash of the evaluation-relevant state: compute
+    identity and extents, level count, all tiles and vthreads.  Excludes
+    [cur_level] (a construction cursor): states differing only in it
+    produce identical metrics, so they share cost-model memo entries and
+    dedup slots.  Memoized per state; never 0. *)
+val fingerprint : t -> int64
+
+(** Exact equality on the fingerprinted structure (still ignoring
+    [cur_level]).  Memo caches use this to collision-check probes. *)
+val eval_equal : t -> t -> bool
+
 val equal : t -> t -> bool
 val pp : t Fmt.t

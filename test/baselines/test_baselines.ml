@@ -64,6 +64,19 @@ let test_ansor_deterministic () =
   check_bool "same seed, same result" true
     (Sched.Etir.equal a.Ansor.Search.etir b.Ansor.Search.etir)
 
+(* Fanning a generation's fitness batch over worker domains must not change
+   anything: RNG draws and population updates are sequential on the
+   coordinating domain. *)
+let test_ansor_jobs_invariant () =
+  let config = { Ansor.Search.default_config with Ansor.Search.n_trials = 140 } in
+  let a = Ansor.Search.search ~config ~jobs:1 ~hw (gemm ()) in
+  let b = Ansor.Search.search ~config ~jobs:4 ~hw (gemm ()) in
+  check_bool "identical schedule" true
+    (Sched.Etir.equal a.Ansor.Search.etir b.Ansor.Search.etir);
+  check_bool "identical metrics" true
+    (a.Ansor.Search.metrics = b.Ansor.Search.metrics);
+  check_int "identical trials" a.Ansor.Search.trials b.Ansor.Search.trials
+
 (* ---------- Vendor ---------- *)
 
 let test_cublas_balanced_strength () =
@@ -157,7 +170,8 @@ let () =
        [ Alcotest.test_case "trial budget" `Quick test_ansor_trial_budget;
          Alcotest.test_case "improves with budget" `Slow
            test_ansor_improves_with_budget;
-         Alcotest.test_case "deterministic" `Quick test_ansor_deterministic ]);
+         Alcotest.test_case "deterministic" `Quick test_ansor_deterministic;
+         Alcotest.test_case "jobs invariant" `Quick test_ansor_jobs_invariant ]);
       ("vendor",
        [ Alcotest.test_case "balanced strength, unbalanced weakness" `Quick
            test_cublas_balanced_strength;

@@ -177,6 +177,56 @@ let test_optimizer_deterministic () =
   check_bool "same seed, same schedule" true
     (Etir.equal a.Gensor.Optimizer.etir b.Gensor.Optimizer.etir)
 
+(* The parallel runtime's core invariant: the pool width must not leak into
+   results.  jobs=1 takes the plain sequential path; jobs=4 fans chains,
+   scoring and polish over worker domains — schedules, metrics and counters
+   must match bit for bit. *)
+let test_optimizer_jobs_invariant () =
+  let config =
+    { Gensor.Optimizer.default_config with Gensor.Optimizer.restarts = 4 }
+  in
+  let a = Gensor.Optimizer.optimize ~config ~jobs:1 ~hw (gemm ()) in
+  let b = Gensor.Optimizer.optimize ~config ~jobs:4 ~hw (gemm ()) in
+  check_bool "identical schedule" true
+    (Etir.equal a.Gensor.Optimizer.etir b.Gensor.Optimizer.etir);
+  check_bool "identical metrics" true
+    (a.Gensor.Optimizer.metrics = b.Gensor.Optimizer.metrics);
+  Alcotest.(check int)
+    "identical exploration" a.Gensor.Optimizer.states_explored
+    b.Gensor.Optimizer.states_explored;
+  Alcotest.(check int)
+    "identical candidate count" a.Gensor.Optimizer.candidates_evaluated
+    b.Gensor.Optimizer.candidates_evaluated
+
+(* The memo caches must be transparent: cached and uncached runs return the
+   same result (keys are collision-checked exactly, so a hash collision can
+   cost a recompute but never change a value). *)
+let test_optimizer_memo_transparent () =
+  let config =
+    { Gensor.Optimizer.default_config with Gensor.Optimizer.restarts = 2 }
+  in
+  let was = Parallel.Memo.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Memo.set_enabled was)
+    (fun () ->
+      Parallel.Memo.set_enabled false;
+      let off = Gensor.Optimizer.optimize ~config ~jobs:1 ~hw (gemm ()) in
+      Parallel.Memo.set_enabled true;
+      let on = Gensor.Optimizer.optimize ~config ~jobs:1 ~hw (gemm ()) in
+      check_bool "identical schedule" true
+        (Etir.equal off.Gensor.Optimizer.etir on.Gensor.Optimizer.etir);
+      check_bool "identical metrics" true
+        (off.Gensor.Optimizer.metrics = on.Gensor.Optimizer.metrics))
+
+(* Eval-equivalent sampled states (same tiles, different construction
+   cursor) must be deduplicated before final scoring. *)
+let test_optimizer_unique_candidates () =
+  let r = Gensor.Optimizer.optimize ~hw (gemm ()) in
+  check_bool "candidates bounded by explored states" true
+    (r.Gensor.Optimizer.candidates_evaluated > 0
+    && r.Gensor.Optimizer.candidates_evaluated
+       < r.Gensor.Optimizer.states_explored * 2)
+
 let test_optimizer_ablations () =
   let full = Gensor.Optimizer.optimize ~hw (gemm ()) in
   let no_vt =
@@ -261,6 +311,12 @@ let () =
       ("optimizer",
        [ Alcotest.test_case "legal result" `Quick test_optimizer_result_legal;
          Alcotest.test_case "deterministic" `Quick test_optimizer_deterministic;
+         Alcotest.test_case "jobs invariant" `Quick
+           test_optimizer_jobs_invariant;
+         Alcotest.test_case "memo transparent" `Quick
+           test_optimizer_memo_transparent;
+         Alcotest.test_case "unique candidates" `Quick
+           test_optimizer_unique_candidates;
          Alcotest.test_case "ablations" `Quick test_optimizer_ablations ]);
       ("markov",
        [ Alcotest.test_case "graph exploration" `Quick test_graph_explore;

@@ -286,6 +286,55 @@ let test_polish_improves () =
     (Costmodel.Metrics.score metrics >= before);
   check_bool "polish evaluated candidates" true (evals > 0)
 
+(* Passing the start metrics skips the leader's duplicate evaluation but
+   must land on the same local optimum. *)
+let test_polish_metrics_passthrough () =
+  let e = gemm_etir () in
+  let metrics = Costmodel.Model.evaluate ~hw e in
+  let e1, m1, evals1 = Costmodel.Polish.greedy ~budget:16 ~hw e in
+  let e2, m2, evals2 = Costmodel.Polish.greedy ~budget:16 ~metrics ~hw e in
+  check_bool "same refined state" true (Sched.Etir.equal e1 e2);
+  check_bool "same metrics" true (m1 = m2);
+  check_bool "one fewer evaluation" true (evals2 = evals1 - 1)
+
+(* The memo cache behind [evaluate_cached] must be invisible except in
+   speed: along a random walk (with revisits) it returns exactly what the
+   uncached model returns, and the registered counters move. *)
+let prop_evaluate_cached_transparent =
+  QCheck.Test.make ~count:100 ~name:"evaluate_cached = evaluate"
+    QCheck.(make Gen.(int_range 0 1000))
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let e = ref (gemm_etir ()) in
+      let ok = ref true in
+      for _ = 1 to 15 do
+        (match Action.successors !e with
+        | [] -> ()
+        | succs -> e := snd (Rng.choice rng succs));
+        if Costmodel.Model.evaluate_cached ~hw !e
+           <> Costmodel.Model.evaluate ~hw !e
+        then ok := false
+      done;
+      !ok)
+
+let test_cache_stats_counters () =
+  let stats_for name =
+    List.assoc_opt name (Costmodel.Model.cache_stats ())
+  in
+  match stats_for "evaluate" with
+  | None -> Alcotest.fail "evaluate cache not registered"
+  | Some before ->
+    let e = gemm_etir ~m:512 ~n:128 ~k:64 () in
+    ignore (Costmodel.Model.evaluate_cached ~hw e);
+    ignore (Costmodel.Model.evaluate_cached ~hw e);
+    (match stats_for "evaluate" with
+    | None -> Alcotest.fail "evaluate cache disappeared"
+    | Some after ->
+      check_bool "a miss was recorded" true
+        (after.Parallel.Memo.misses > before.Parallel.Memo.misses);
+      check_bool "a hit was recorded" true
+        (after.Parallel.Memo.hits > before.Parallel.Memo.hits))
+
 let prop_model_deterministic =
   QCheck.Test.make ~count:100 ~name:"model evaluation is deterministic"
     QCheck.(make Gen.(int_range 0 1000))
@@ -333,4 +382,9 @@ let () =
            test_model_prefers_tuned;
          Alcotest.test_case "ablation knobs" `Quick test_model_ablation_knobs;
          Alcotest.test_case "polish improves" `Quick test_polish_improves;
+         Alcotest.test_case "polish metrics passthrough" `Quick
+           test_polish_metrics_passthrough;
+         Alcotest.test_case "cache stats counters" `Quick
+           test_cache_stats_counters;
+         QCheck_alcotest.to_alcotest prop_evaluate_cached_transparent;
          QCheck_alcotest.to_alcotest prop_model_deterministic ]) ]

@@ -1,0 +1,156 @@
+(* The domain pool and the lock-sharded memo cache — the invariants the
+   optimiser hot paths rely on: order preservation, exception transparency,
+   nested-map safety, and exact (collision-checked) memoization. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Pool ---------- *)
+
+let test_map_preserves_order () =
+  let pool = Parallel.Pool.create ~jobs:4 in
+  let xs = List.init 1000 Fun.id in
+  Alcotest.(check (list int))
+    "map = List.map" (List.map succ xs)
+    (Parallel.Pool.map pool succ xs);
+  Parallel.Pool.shutdown pool
+
+let test_map_empty_and_singleton () =
+  let pool = Parallel.Pool.create ~jobs:3 in
+  Alcotest.(check (list int)) "empty" [] (Parallel.Pool.map pool succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Parallel.Pool.map pool succ [ 1 ]);
+  Parallel.Pool.shutdown pool
+
+let test_jobs1_is_sequential () =
+  let pool = Parallel.Pool.create ~jobs:1 in
+  check_int "jobs floored at 1" 1 (Parallel.Pool.jobs pool);
+  (* With one lane every application runs on the calling domain, in order. *)
+  let order = ref [] in
+  let result =
+    Parallel.Pool.map pool
+      (fun i ->
+        order := i :: !order;
+        i * i)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "results" [ 1; 4; 9; 16 ] result;
+  Alcotest.(check (list int)) "application order" [ 1; 2; 3; 4 ] (List.rev !order);
+  Parallel.Pool.shutdown pool
+
+exception Boom of int
+
+let test_map_reraises_lowest_index () =
+  let pool = Parallel.Pool.create ~jobs:4 in
+  (match
+     Parallel.Pool.map pool
+       (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+       (List.init 64 (fun i -> i + 1))
+   with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom i -> check_int "lowest failing index wins" 3 i);
+  (* The pool stays usable after a failed map. *)
+  Alcotest.(check (list int)) "pool survives" [ 2; 4 ]
+    (Parallel.Pool.map pool (fun x -> 2 * x) [ 1; 2 ]);
+  Parallel.Pool.shutdown pool
+
+let test_nested_map_runs_inline () =
+  let pool = Parallel.Pool.create ~jobs:4 in
+  (* A map issued from inside a worker task must not deadlock: it runs
+     sequentially on the worker. *)
+  let result =
+    Parallel.Pool.map pool
+      (fun i -> List.fold_left ( + ) 0 (Parallel.Pool.map pool Fun.id [ i; i; i ]))
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Alcotest.(check (list int)) "nested results" [ 3; 6; 9; 12; 15; 18; 21; 24 ] result;
+  Parallel.Pool.shutdown pool
+
+let test_map_auto_matches_sequential () =
+  let xs = List.init 257 (fun i -> i - 128) in
+  let f x = (x * 31) lxor 5 in
+  Alcotest.(check (list int))
+    "jobs=1" (List.map f xs)
+    (Parallel.Pool.map_auto ~jobs:1 f xs);
+  Alcotest.(check (list int))
+    "jobs=4" (List.map f xs)
+    (Parallel.Pool.map_auto ~jobs:4 f xs)
+
+(* ---------- Memo ---------- *)
+
+let int_memo ?capacity name =
+  Parallel.Memo.create ?capacity ~name ~hash:(fun k -> k land max_int)
+    ~equal:Int.equal ()
+
+let test_memo_hit_miss_counters () =
+  let memo = int_memo "t-counters" in
+  let calls = ref 0 in
+  let f k () = incr calls; k * 10 in
+  check_int "first lookup computes" 70 (Parallel.Memo.find_or_add memo 7 (f 7));
+  check_int "second lookup served" 70 (Parallel.Memo.find_or_add memo 7 (f 7));
+  check_int "computed once" 1 !calls;
+  let s = Parallel.Memo.stats memo in
+  check_int "hits" 1 s.Parallel.Memo.hits;
+  check_int "misses" 1 s.Parallel.Memo.misses;
+  check_int "entries" 1 s.Parallel.Memo.entries
+
+let test_memo_eviction () =
+  let memo = int_memo ~capacity:64 "t-eviction" in
+  for k = 0 to 999 do
+    ignore (Parallel.Memo.find_or_add memo k (fun () -> k))
+  done;
+  let s = Parallel.Memo.stats memo in
+  check_bool "evicted something" true (s.Parallel.Memo.evictions > 0);
+  check_bool "bounded" true (s.Parallel.Memo.entries <= 64 + 999);
+  (* Values stay correct after eviction. *)
+  check_int "recompute correct" 123 (Parallel.Memo.find_or_add memo 123 (fun () -> 123))
+
+let test_memo_disabled_passthrough () =
+  let memo = int_memo "t-disabled" in
+  Parallel.Memo.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Parallel.Memo.set_enabled true)
+    (fun () ->
+      let calls = ref 0 in
+      let f () = incr calls; 1 in
+      ignore (Parallel.Memo.find_or_add memo 1 f);
+      ignore (Parallel.Memo.find_or_add memo 1 f);
+      check_int "computes every time when disabled" 2 !calls;
+      check_int "no entries stored" 0
+        (Parallel.Memo.stats memo).Parallel.Memo.entries)
+
+let test_memo_parallel_consistency () =
+  (* Hammer one memo from a pool: every lookup must return the key's own
+     value (no cross-key corruption), whichever domain filled the slot. *)
+  let memo = int_memo "t-parallel" in
+  let pool = Parallel.Pool.create ~jobs:4 in
+  let results =
+    Parallel.Pool.map pool
+      (fun i ->
+        let k = i mod 17 in
+        Parallel.Memo.find_or_add memo k (fun () -> k * 1000))
+      (List.init 2000 Fun.id)
+  in
+  List.iteri
+    (fun i v -> check_int (Fmt.str "slot %d" i) (i mod 17 * 1000) v)
+    results;
+  Parallel.Pool.shutdown pool
+
+let () =
+  Alcotest.run "parallel"
+    [ ("pool",
+       [ Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+         Alcotest.test_case "empty and singleton" `Quick test_map_empty_and_singleton;
+         Alcotest.test_case "jobs=1 is sequential" `Quick test_jobs1_is_sequential;
+         Alcotest.test_case "re-raises lowest index" `Quick
+           test_map_reraises_lowest_index;
+         Alcotest.test_case "nested map runs inline" `Quick
+           test_nested_map_runs_inline;
+         Alcotest.test_case "map_auto matches sequential" `Quick
+           test_map_auto_matches_sequential ]);
+      ("memo",
+       [ Alcotest.test_case "hit/miss counters" `Quick test_memo_hit_miss_counters;
+         Alcotest.test_case "eviction" `Quick test_memo_eviction;
+         Alcotest.test_case "disabled passthrough" `Quick
+           test_memo_disabled_passthrough;
+         Alcotest.test_case "parallel consistency" `Quick
+           test_memo_parallel_consistency ]) ]

@@ -131,6 +131,60 @@ let test_etir_signature () =
   let c = Etir.with_stile a ~level:0 ~dim:0 2 in
   check_bool "different tiles differ" false (Etir.equal a c)
 
+(* ---------- fingerprint ---------- *)
+
+let test_fingerprint_basic () =
+  let e = gemm_etir () in
+  let fp = Etir.fingerprint e in
+  check_bool "never zero" true (fp <> 0L);
+  Alcotest.(check int64) "stable across calls" fp (Etir.fingerprint e);
+  Alcotest.(check int64) "equal rebuilds agree" fp
+    (Etir.fingerprint (gemm_etir ()));
+  (* The construction cursor is excluded: cache switches do not change the
+     evaluation identity. *)
+  let cached = Etir.with_cur_level e 0 in
+  Alcotest.(check int64) "cur_level excluded" fp (Etir.fingerprint cached);
+  check_bool "eval_equal across cur_level" true (Etir.eval_equal e cached);
+  check_bool "but not structurally equal" false (Etir.equal e cached);
+  (* Structural updates change it. *)
+  let tiled = Etir.with_stile e ~level:0 ~dim:0 2 in
+  check_bool "tile change changes fingerprint" true
+    (Etir.fingerprint tiled <> fp);
+  check_bool "tile change breaks eval_equal" false (Etir.eval_equal e tiled);
+  let vthreaded = Etir.with_vthread tiled ~dim:0 2 in
+  check_bool "vthread change changes fingerprint" true
+    (Etir.fingerprint vthreaded <> Etir.fingerprint tiled);
+  (* Different extents differ even with identical tiles. *)
+  check_bool "extents feed the hash" true
+    (Etir.fingerprint (gemm_etir ~m:65 ()) <> fp)
+
+(* Property: along any random action walk, eval_equal and fingerprint stay
+   mutually consistent, and only the Cache action preserves them. *)
+let prop_fingerprint_consistent =
+  QCheck.Test.make ~count:200 ~name:"fingerprint consistent with eval_equal"
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 1 60)))
+    (fun (seed, steps) ->
+      let rng = Rng.create ~seed in
+      let e = ref (gemm_etir ~m:33 ~n:17 ~k:29 ()) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        match Action.successors !e with
+        | [] -> ()
+        | succs ->
+          let action, next = Rng.choice rng succs in
+          let same_fp = Etir.fingerprint !e = Etir.fingerprint next in
+          let same_eval = Etir.eval_equal !e next in
+          (* eval_equal implies equal fingerprints... *)
+          if same_eval && not same_fp then ok := false;
+          (* ...and the cache action is exactly the eval-preserving one. *)
+          (match action with
+          | Action.Cache -> if not same_eval then ok := false
+          | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ ->
+            if same_eval then ok := false);
+          e := next
+      done;
+      !ok)
+
 (* ---------- Action ---------- *)
 
 let test_action_grow_caps () =
@@ -230,7 +284,9 @@ let () =
          Alcotest.test_case "effective tiles" `Quick test_etir_eff_tiles;
          Alcotest.test_case "tile env" `Quick test_etir_tile_env;
          Alcotest.test_case "retarget" `Quick test_etir_retarget;
-         Alcotest.test_case "signatures" `Quick test_etir_signature ]);
+         Alcotest.test_case "signatures" `Quick test_etir_signature;
+         Alcotest.test_case "fingerprint" `Quick test_fingerprint_basic;
+         QCheck_alcotest.to_alcotest prop_fingerprint_consistent ]);
       ("action",
        [ Alcotest.test_case "grow caps at extent" `Quick test_action_grow_caps;
          Alcotest.test_case "shrink floors" `Quick test_action_shrink_floor;
