@@ -52,4 +52,33 @@ let run () =
   Ctx.record ~experiment:"dyn" ~quantity:"construction work saved by cache"
     ~measured:work_saved ~unit_:"fraction" ();
   Ctx.record ~experiment:"dyn" ~quantity:"quality retained under warm start"
-    ~measured:quality ~unit_:"fraction" ()
+    ~measured:quality ~unit_:"fraction" ();
+  (* Persistent tier: the same shape stream in a second "process" — a fresh
+     kernel cache over the store the first one filled.  Everything should
+     be served from disk: zero constructions. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "gensor-dyn-cache-%d" (Unix.getpid ()))
+  in
+  let store = Artifact.Store.open_ dir in
+  let first = Dnn.Kernel_cache.create ~store ~hw () in
+  List.iter (fun m -> ignore (Dnn.Kernel_cache.compile first (compute m))) shapes;
+  let second =
+    Dnn.Kernel_cache.create ~store:(Artifact.Store.open_ dir) ~hw ()
+  in
+  List.iter
+    (fun m -> ignore (Dnn.Kernel_cache.compile second (compute m)))
+    shapes;
+  let s2 = Dnn.Kernel_cache.stats second in
+  Fmt.pr
+    "persistent store (second process): %d preloaded, %d hit / %d warm / %d \
+     cold, %d construction steps@."
+    (Dnn.Kernel_cache.preloaded_count second)
+    s2.Dnn.Kernel_cache.hits s2.Dnn.Kernel_cache.warm_misses
+    s2.Dnn.Kernel_cache.cold_misses s2.Dnn.Kernel_cache.construction_steps;
+  Ctx.record ~experiment:"dyn"
+    ~quantity:"cold constructions in a store-warmed process"
+    ~measured:(float_of_int s2.Dnn.Kernel_cache.cold_misses)
+    ~unit_:"count" ();
+  ignore (Artifact.Store.purge store : int);
+  (try Sys.rmdir dir with Sys_error _ -> ())

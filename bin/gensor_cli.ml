@@ -30,6 +30,29 @@ let resolve_method name =
   | "cublas" -> Ok (Pipeline.Methods.cublas ())
   | other -> Error (`Msg (Fmt.str "unknown method %s" other))
 
+(* ---------- persistent artifact store ---------- *)
+
+let cache_dir_arg =
+  let doc =
+    "Persistent kernel store directory (falls back to the GENSOR_CACHE_DIR \
+     environment variable; no store when neither is set)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc
+        ~env:(Cmd.Env.info Artifact.Store.env_var))
+
+(* [--cache-dir DIR] wins; otherwise GENSOR_CACHE_DIR; otherwise no store. *)
+let open_store = function
+  | Some dir -> Some (Artifact.Store.open_ dir)
+  | None -> Artifact.Store.open_env ()
+
+let report_store_issues store =
+  List.iter
+    (fun i -> Fmt.epr "cache: skipped %a@." Artifact.Store.pp_issue i)
+    (Artifact.Store.issues store)
+
 (* ---------- compile ---------- *)
 
 let op_arg =
@@ -41,7 +64,7 @@ let cuda_arg =
   Arg.(value & flag & info [ "cuda" ] ~doc)
 
 let compile_cmd =
-  let run device method_name label emit_cuda =
+  let run device method_name label emit_cuda cache_dir =
     match
       ( resolve_device device,
         resolve_method method_name,
@@ -54,7 +77,36 @@ let compile_cmd =
       Fmt.pr "%s: %s on %s via %s@.@." label
         entry.Workloads.Table_iv.description
         (Hardware.Gpu_spec.name hw) method_.Pipeline.Methods.name;
-      let output = method_.Pipeline.Methods.compile ~hw op in
+      let store = open_store cache_dir in
+      Option.iter report_store_issues store;
+      let probe store =
+        Artifact.Store.find store
+          ~device_fingerprint:(Artifact.Gpu_codec.fingerprint hw)
+          ~method_name:method_.Pipeline.Methods.name
+          ~compute_fingerprint:
+            (Artifact.Compute_codec.fingerprint (Ops.Op.compute op))
+      in
+      let output =
+        match Option.map probe store with
+        | Some (Some r) ->
+          Fmt.pr "cache: exact hit (%a)@.@." Artifact.Record.pp_summary r;
+          Pipeline.Methods.of_artifact r
+        | Some None | None ->
+          let output = method_.Pipeline.Methods.compile ~hw op in
+          Option.iter
+            (fun store ->
+              let verify =
+                Verify.run output.Pipeline.Methods.etir ~hw
+              in
+              let r =
+                Pipeline.Methods.to_artifact ~verify
+                  ~method_name:method_.Pipeline.Methods.name ~hw output
+              in
+              let key = Artifact.Store.put store r in
+              Fmt.pr "cache: miss, stored as %s@.@." key)
+            store;
+          output
+      in
       Fmt.pr "%a@.@.%a@.@." Sched.Etir.pp output.Pipeline.Methods.etir
         Costmodel.Metrics.pp output.Pipeline.Methods.metrics;
       Fmt.pr "optimisation: %.2f s simulated, %.3f s wall@."
@@ -66,9 +118,17 @@ let compile_cmd =
           (Codegen.Cuda.emit_host output.Pipeline.Methods.etir);
       `Ok ()
   in
-  let doc = "Compile one benchmark operator and print the schedule." in
+  let doc =
+    "Compile one benchmark operator and print the schedule.  With a \
+     persistent store ($(b,--cache-dir) or GENSOR_CACHE_DIR), a previously \
+     tuned schedule is loaded instead of re-optimised, and fresh results \
+     are written through."
+  in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(ret (const run $ device_arg $ method_arg $ op_arg $ cuda_arg))
+    Term.(
+      ret
+        (const run $ device_arg $ method_arg $ op_arg $ cuda_arg
+       $ cache_dir_arg))
 
 (* ---------- ops ---------- *)
 
@@ -107,7 +167,7 @@ let resolve_model name ~batch =
   | other -> Error (`Msg (Fmt.str "unknown model %s" other))
 
 let model_cmd =
-  let run device method_name model_name batch =
+  let run device method_name model_name batch cache_dir =
     match
       (resolve_device device, resolve_method method_name,
        resolve_model model_name ~batch)
@@ -116,16 +176,23 @@ let model_cmd =
       `Error (false, m)
     | Ok hw, Ok method_, Ok model ->
       Fmt.pr "%a@.@." Dnn.Model.pp model;
-      let report = Dnn.Runner.run ~hw method_ model in
+      let store = open_store cache_dir in
+      Option.iter report_store_issues store;
+      let report = Dnn.Runner.run ?store ~hw method_ model in
       Fmt.pr "%a@." Dnn.Runner.pp_report report;
       let torch = Dnn.Runner.run_pytorch ~hw model in
       Fmt.pr "%a@." Dnn.Runner.pp_report torch;
       `Ok ()
   in
-  let doc = "Compile and estimate one end-to-end model." in
+  let doc =
+    "Compile and estimate one end-to-end model, reusing the persistent \
+     kernel store when one is configured."
+  in
   Cmd.v (Cmd.info "model" ~doc)
     Term.(
-      ret (const run $ device_arg $ method_arg $ model_name_arg $ batch_arg))
+      ret
+        (const run $ device_arg $ method_arg $ model_name_arg $ batch_arg
+       $ cache_dir_arg))
 
 (* ---------- verify ---------- *)
 
@@ -326,7 +393,7 @@ let bench_quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc)
 
 let bench_cmd =
-  let run json_file quick jobs =
+  let run json_file quick jobs cache_dir =
     let hw = Hardware.Presets.rtx4090 in
     let gemm = Ops.Op.compute (Ops.Matmul.gemm ~m:1024 ~n:1024 ~k:1024 ()) in
     let jobs =
@@ -397,6 +464,26 @@ let bench_cmd =
     | r :: rest ->
       rows := { r with b_ns = r.b_ns /. float_of_int eval_iters } :: rest
     | [] -> ());
+    (* Persistent-store arm: a fresh kernel cache opened over an already
+       warm store — measures open + preload + exact-hit, i.e. what a second
+       process pays instead of a cold construction. *)
+    (match cache_dir with
+    | None -> ()
+    | Some dir ->
+      let store = Artifact.Store.open_ dir in
+      let fill =
+        Dnn.Kernel_cache.create ~config:quick_gensor ~store ~hw ()
+      in
+      ignore (Dnn.Kernel_cache.compile fill gemm);
+      arm
+        (bench_arm ~name:"kcache-store-warm" ~jobs:1 ~runs (fun () ->
+             let cache =
+               Dnn.Kernel_cache.create ~config:quick_gensor
+                 ~store:(Artifact.Store.open_ dir) ~hw ()
+             in
+             let _, lookup = Dnn.Kernel_cache.compile cache gemm in
+             assert (lookup = Dnn.Kernel_cache.Hit);
+             0)));
     let rows = List.rev !rows in
     let speedup = seq.b_ns /. par.b_ns in
     Fmt.pr "@.gensor-gemm1024: %.2fx vs sequential uncached (%d jobs, %d cpus)@."
@@ -417,7 +504,126 @@ let bench_cmd =
      optionally write the results as JSON."
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(ret (const run $ bench_json_arg $ bench_quick_arg $ jobs_arg))
+    Term.(
+      ret
+        (const run $ bench_json_arg $ bench_quick_arg $ jobs_arg
+       $ cache_dir_arg))
+
+(* ---------- cache ---------- *)
+
+(* Cache maintenance requires an explicit store: --cache-dir or
+   GENSOR_CACHE_DIR. *)
+let with_store cache_dir f =
+  match open_store cache_dir with
+  | None ->
+    `Error
+      ( false,
+        Fmt.str "no store configured: pass --cache-dir or set %s"
+          Artifact.Store.env_var )
+  | Some store -> f store
+
+let cache_ls_cmd =
+  let run cache_dir =
+    with_store cache_dir (fun store ->
+        report_store_issues store;
+        Report.Table.print
+          (Report.Table.v
+             ~headers:
+               [ "key"; "op"; "shape"; "method"; "device"; "score"; "steps";
+                 "verify" ]
+             (List.map
+                (fun (key, (r : Artifact.Record.t)) ->
+                  [ String.sub key 0 12;
+                    Tensor_lang.Compute.name r.compute;
+                    Artifact.Record.shape_string r;
+                    r.method_name;
+                    r.device_fingerprint;
+                    Fmt.str "%.3g" (Costmodel.Metrics.score r.metrics);
+                    string_of_int r.steps;
+                    (match r.verify with
+                    | Artifact.Record.Not_verified -> "-"
+                    | Artifact.Record.Verified ds ->
+                      let errs = Artifact.Record.verify_errors r in
+                      if errs > 0 then Fmt.str "%d error(s)" errs
+                      else Fmt.str "ok (%d diags)" (List.length ds)) ])
+                (Artifact.Store.entries store)));
+        `Ok ())
+  in
+  let doc = "List every artifact in the persistent kernel store." in
+  Cmd.v (Cmd.info "ls" ~doc) Term.(ret (const run $ cache_dir_arg))
+
+let cache_stats_cmd =
+  let run cache_dir =
+    with_store cache_dir (fun store ->
+        Fmt.pr "store: %s@." (Artifact.Store.dir store);
+        Fmt.pr "entries: %d (%d bytes on disk)@."
+          (Artifact.Store.size store)
+          (Artifact.Store.total_bytes store);
+        (match Artifact.Store.issues store with
+        | [] -> ()
+        | issues ->
+          Fmt.pr "skipped %d unreadable file(s):@." (List.length issues);
+          List.iter
+            (fun i -> Fmt.pr "  %a@." Artifact.Store.pp_issue i)
+            issues);
+        `Ok ())
+  in
+  let doc = "Show entry count, on-disk size and skipped files." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ cache_dir_arg))
+
+let cache_purge_cmd =
+  let run cache_dir =
+    with_store cache_dir (fun store ->
+        let n = Artifact.Store.purge store in
+        Fmt.pr "purged %d artifact(s) from %s@." n (Artifact.Store.dir store);
+        `Ok ())
+  in
+  let doc = "Delete every artifact in the store." in
+  Cmd.v (Cmd.info "purge" ~doc) Term.(ret (const run $ cache_dir_arg))
+
+let cache_key_arg =
+  let doc = "Store key of the artifact (as shown by `gensor cache ls`)." in
+  Arg.(required & opt (some string) None & info [ "key"; "k" ] ~docv:"KEY" ~doc)
+
+let cache_out_arg =
+  let doc = "Destination file for the exported artifact." in
+  Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let cache_export_cmd =
+  let run cache_dir key dest =
+    with_store cache_dir (fun store ->
+        (* `cache ls` shows a 12-character prefix; accept it. *)
+        let resolved =
+          match
+            List.filter
+              (fun (k, _) ->
+                String.length key <= String.length k
+                && String.equal key (String.sub k 0 (String.length key)))
+              (Artifact.Store.entries store)
+          with
+          | [ (k, _) ] -> Ok k
+          | [] -> Error (Fmt.str "no artifact with key %s" key)
+          | _ :: _ -> Error (Fmt.str "key prefix %s is ambiguous" key)
+        in
+        match
+          Result.bind resolved (fun key ->
+              Result.map
+                (fun () -> key)
+                (Artifact.Store.export store ~key ~dest))
+        with
+        | Ok key ->
+          Fmt.pr "exported %s to %s@." key dest;
+          `Ok ()
+        | Error m -> `Error (false, m))
+  in
+  let doc = "Copy one artifact file out of the store." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(ret (const run $ cache_dir_arg $ cache_key_arg $ cache_out_arg))
+
+let cache_cmd =
+  let doc = "Inspect and maintain the persistent kernel store." in
+  Cmd.group (Cmd.info "cache" ~doc)
+    [ cache_ls_cmd; cache_stats_cmd; cache_purge_cmd; cache_export_cmd ]
 
 (* ---------- devices ---------- *)
 
@@ -436,4 +642,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; ops_cmd; model_cmd; devices_cmd; verify_cmd;
-            bench_cmd ]))
+            bench_cmd; cache_cmd ]))

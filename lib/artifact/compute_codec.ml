@@ -1,0 +1,222 @@
+(* Canonical text codec for {!Tensor_lang.Compute.t}: axes, input tensor
+   declarations, output/epilogue description and the full scalar body as a
+   one-line s-expression.  Decoding goes through [Compute.v], so every
+   well-formedness rule of the language (bound variables, declared tensors,
+   in-bounds accesses) is re-checked on load — a tampered artifact cannot
+   smuggle an ill-formed program past the constructor. *)
+
+open Tensor_lang
+
+let ( let* ) = Result.bind
+
+let dtype_atom = Dtype.to_string
+
+let dtype_of_atom ~line = function
+  | "f16" -> Ok Dtype.F16
+  | "f32" -> Ok Dtype.F32
+  | "i8" -> Ok Dtype.I8
+  | "i32" -> Ok Dtype.I32
+  | other -> Codec.error line "unknown dtype %S" other
+
+(* ---------- index expressions ---------- *)
+
+let rec index_to_sexp (i : Index.t) : Codec.sexp =
+  let bin name a b = Codec.L [ A name; index_to_sexp a; index_to_sexp b ] in
+  match i with
+  | Index.Var v -> L [ A "var"; S v ]
+  | Index.Const n -> L [ A "const"; A (string_of_int n) ]
+  | Index.Add (a, b) -> bin "add" a b
+  | Index.Sub (a, b) -> bin "sub" a b
+  | Index.Mul (a, b) -> bin "mul" a b
+  | Index.Div (a, b) -> bin "div" a b
+  | Index.Mod (a, b) -> bin "mod" a b
+  | Index.Min (a, b) -> bin "min" a b
+  | Index.Max (a, b) -> bin "max" a b
+
+(* Raw variant constructors, not the constant-folding smart constructors:
+   decode must reproduce the encoded tree exactly. *)
+let rec index_of_sexp ~line (x : Codec.sexp) =
+  match x with
+  | Codec.L [ A "var"; S v ] -> Ok (Index.Var v)
+  | Codec.L [ A "const"; A n ] -> (
+    match int_of_string_opt n with
+    | Some n -> Ok (Index.Const n)
+    | None -> Codec.error line "bad integer %S in index expression" n)
+  | Codec.L [ A op; a; b ] -> (
+    let* a = index_of_sexp ~line a in
+    let* b = index_of_sexp ~line b in
+    match op with
+    | "add" -> Ok (Index.Add (a, b))
+    | "sub" -> Ok (Index.Sub (a, b))
+    | "mul" -> Ok (Index.Mul (a, b))
+    | "div" -> Ok (Index.Div (a, b))
+    | "mod" -> Ok (Index.Mod (a, b))
+    | "min" -> Ok (Index.Min (a, b))
+    | "max" -> Ok (Index.Max (a, b))
+    | other -> Codec.error line "unknown index operator %S" other)
+  | _ -> Codec.error line "malformed index expression"
+
+(* ---------- scalar expressions ---------- *)
+
+let rec expr_to_sexp (e : Expr.t) : Codec.sexp =
+  let bin name a b = Codec.L [ A name; expr_to_sexp a; expr_to_sexp b ] in
+  match e with
+  | Expr.Imm f -> L [ A "imm"; A (Codec.float_str f) ]
+  | Expr.Read a ->
+    L
+      (A "read" :: S (Access.tensor a)
+      :: List.map index_to_sexp (Access.indices a))
+  | Expr.Neg a -> L [ A "neg"; expr_to_sexp a ]
+  | Expr.Add (a, b) -> bin "add" a b
+  | Expr.Sub (a, b) -> bin "sub" a b
+  | Expr.Mul (a, b) -> bin "mul" a b
+  | Expr.Div (a, b) -> bin "div" a b
+  | Expr.Max (a, b) -> bin "max" a b
+  | Expr.Min (a, b) -> bin "min" a b
+
+let rec expr_of_sexp ~line (x : Codec.sexp) =
+  match x with
+  | Codec.L [ A "imm"; A f ] -> (
+    match float_of_string_opt f with
+    | Some f -> Ok (Expr.Imm f)
+    | None -> Codec.error line "bad float %S in body" f)
+  | Codec.L (A "read" :: S tensor :: idxs) -> (
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | i :: rest ->
+        let* i = index_of_sexp ~line i in
+        go (i :: acc) rest
+    in
+    let* indices = go [] idxs in
+    match Access.v tensor indices with
+    | exception Invalid_argument m -> Codec.error line "invalid access: %s" m
+    | a -> Ok (Expr.Read a))
+  | Codec.L [ A "neg"; a ] ->
+    let* a = expr_of_sexp ~line a in
+    Ok (Expr.Neg a)
+  | Codec.L [ A op; a; b ] -> (
+    let* a = expr_of_sexp ~line a in
+    let* b = expr_of_sexp ~line b in
+    match op with
+    | "add" -> Ok (Expr.Add (a, b))
+    | "sub" -> Ok (Expr.Sub (a, b))
+    | "mul" -> Ok (Expr.Mul (a, b))
+    | "div" -> Ok (Expr.Div (a, b))
+    | "max" -> Ok (Expr.Max (a, b))
+    | "min" -> Ok (Expr.Min (a, b))
+    | other -> Codec.error line "unknown body operator %S" other)
+  | _ -> Codec.error line "malformed body expression"
+
+(* ---------- compute ---------- *)
+
+let combine_atom = function Compute.Sum -> "sum" | Compute.Max_combine -> "max"
+
+let combine_of_atom ~line = function
+  | "sum" -> Ok Compute.Sum
+  | "max" -> Ok Compute.Max_combine
+  | other -> Codec.error line "unknown combine %S" other
+
+let encode c =
+  let axes = Compute.axes c in
+  let inputs = Compute.inputs c in
+  [ Fmt.str "compute %s" (Codec.quote (Compute.name c));
+    Fmt.str "axes %d" (List.length axes) ]
+  @ List.map
+      (fun ax ->
+        Fmt.str "axis %s %s %d"
+          (if Axis.is_reduce ax then "r" else "s")
+          (Codec.quote (Axis.name ax))
+          (Axis.extent ax))
+      axes
+  @ [ Fmt.str "inputs %d" (List.length inputs) ]
+  @ List.map
+      (fun (i : Compute.input) ->
+        Fmt.str "input %s %s%s"
+          (Codec.quote i.in_name)
+          (dtype_atom i.in_dtype)
+          (String.concat ""
+             (List.map (fun d -> Fmt.str " %d" d) i.in_shape)))
+      inputs
+  @ [ Fmt.str "out %s %s %s %s %s"
+        (Codec.quote (Compute.out_name c))
+        (dtype_atom (Compute.out_dtype c))
+        (Codec.float_str (Compute.init c))
+        (Codec.float_str (Compute.scale c))
+        (combine_atom (Compute.combine c));
+      Fmt.str "body %s" (Codec.sexp_to_string (expr_to_sexp (Compute.body c)))
+    ]
+
+let ( let+ ) r f = Result.map f r
+
+let rec times n f acc =
+  if n <= 0 then Ok (List.rev acc)
+  else
+    let* x = f () in
+    times (n - 1) f (x :: acc)
+
+let decode cur =
+  let start = Codec.lineno cur in
+  let* name = Codec.field_str cur "compute" in
+  let* n_axes = Codec.field_int cur "axes" in
+  let* () =
+    if n_axes >= 1 && n_axes <= 64 then Ok ()
+    else Codec.error start "implausible axis count %d" n_axes
+  in
+  let* axes =
+    times n_axes
+      (fun () ->
+        let* ln, toks = Codec.field cur "axis" in
+        let* kind, toks = Codec.take_atom ~line:ln toks in
+        let* kind =
+          match kind with
+          | "s" -> Ok Axis.Spatial
+          | "r" -> Ok Axis.Reduce
+          | other -> Codec.error ln "unknown axis kind %S" other
+        in
+        let* aname, toks = Codec.take_str ~line:ln toks in
+        let* extent, toks = Codec.take_int ~line:ln toks in
+        let* () = Codec.finish ~line:ln toks in
+        match Axis.v ~kind aname extent with
+        | exception Invalid_argument m -> Codec.error ln "invalid axis: %s" m
+        | ax -> Ok ax)
+      []
+  in
+  let* n_inputs = Codec.field_int cur "inputs" in
+  let* () =
+    if n_inputs >= 0 && n_inputs <= 64 then Ok ()
+    else Codec.error start "implausible input count %d" n_inputs
+  in
+  let* inputs =
+    times n_inputs
+      (fun () ->
+        let* ln, toks = Codec.field cur "input" in
+        let* in_name, toks = Codec.take_str ~line:ln toks in
+        let* dt, toks = Codec.take_atom ~line:ln toks in
+        let* in_dtype = dtype_of_atom ~line:ln dt in
+        let+ in_shape = Codec.take_ints ~line:ln toks in
+        { Compute.in_name; in_shape; in_dtype })
+      []
+  in
+  let* ln_out, toks = Codec.field cur "out" in
+  let* out_name, toks = Codec.take_str ~line:ln_out toks in
+  let* dt, toks = Codec.take_atom ~line:ln_out toks in
+  let* out_dtype = dtype_of_atom ~line:ln_out dt in
+  let* init, toks = Codec.take_float ~line:ln_out toks in
+  let* scale, toks = Codec.take_float ~line:ln_out toks in
+  let* comb, toks = Codec.take_atom ~line:ln_out toks in
+  let* combine = combine_of_atom ~line:ln_out comb in
+  let* () = Codec.finish ~line:ln_out toks in
+  let* ln_body, toks = Codec.field cur "body" in
+  let* body_sexp = Codec.sexp_of_tokens ~line:ln_body toks in
+  let* body = expr_of_sexp ~line:ln_body body_sexp in
+  match
+    Compute.v ~name ~axes ~inputs ~out_name ~out_dtype ~init ~combine ~scale
+      ~body ()
+  with
+  | exception Invalid_argument m ->
+    Codec.error start "invalid compute definition: %s" m
+  | c -> Ok c
+
+(* Content identity of a compute definition: MD5 over its canonical
+   encoding.  Used by the store to key artifacts. *)
+let fingerprint c = Digest.to_hex (Digest.string (String.concat "\n" (encode c)))

@@ -1,0 +1,14 @@
+(** Text codec for the schedulable configuration of an ETIR state (tiles,
+    reduce tiles, vthreads, [cur_level]).
+
+    The compute definition is encoded separately ({!Compute_codec});
+    [decode] rebuilds the state against it and re-checks
+    [Sched.Etir.validate], so corrupt tile values are rejected rather than
+    mis-loaded. *)
+
+val encode : Sched.Etir.t -> string list
+
+val decode :
+  compute:Tensor_lang.Compute.t ->
+  Codec.cursor ->
+  (Sched.Etir.t, Codec.error) result

@@ -1,0 +1,101 @@
+(* Text codec for {!Hardware.Gpu_spec.t} plus a short device fingerprint.
+
+   A compiled schedule is only valid for the device it was tuned against, so
+   every artifact embeds the full spec (making files self-describing) and
+   the store keys entries by [fingerprint] — a 12-hex-digit digest of the
+   canonical encoding, cheap to compare and stable across builds.  Decoding
+   re-validates through [Gpu_spec.v] / [Mem_level.v]. *)
+
+open Hardware
+
+let ( let* ) = Result.bind
+
+let scope_atom = function
+  | Mem_level.Per_thread -> "per-thread"
+  | Mem_level.Per_block -> "per-block"
+  | Mem_level.Device -> "device"
+
+let scope_of_atom ~line = function
+  | "per-thread" -> Ok Mem_level.Per_thread
+  | "per-block" -> Ok Mem_level.Per_block
+  | "device" -> Ok Mem_level.Device
+  | other -> Codec.error line "unknown memory scope %S" other
+
+let encode (hw : Gpu_spec.t) =
+  [ Fmt.str "gpu %s" (Codec.quote (Gpu_spec.name hw));
+    Fmt.str "sm_count %d" (Gpu_spec.sm_count hw);
+    Fmt.str "cores_per_sm %d" (Gpu_spec.cores_per_sm hw);
+    Fmt.str "clock_ghz %s" (Codec.float_str (Gpu_spec.clock_ghz hw));
+    Fmt.str "warp_size %d" (Gpu_spec.warp_size hw);
+    Fmt.str "max_threads_per_sm %d" (Gpu_spec.max_threads_per_sm hw);
+    Fmt.str "max_threads_per_block %d" (Gpu_spec.max_threads_per_block hw);
+    Fmt.str "registers_per_sm %d" (Gpu_spec.registers_per_sm hw);
+    Fmt.str "power_watts %s" (Codec.float_str (Gpu_spec.power_watts hw));
+    Fmt.str "mem_levels %d" (Gpu_spec.num_levels hw) ]
+  @ List.map
+      (fun lv ->
+        Fmt.str "level %s %s %d %s %s %d %d"
+          (Codec.quote (Mem_level.name lv))
+          (scope_atom (Mem_level.scope lv))
+          (Mem_level.capacity_bytes lv)
+          (Codec.float_str (Mem_level.bandwidth_gbs lv))
+          (Codec.float_str (Mem_level.latency_cycles lv))
+          (Mem_level.banks lv)
+          (Mem_level.bank_width_bytes lv))
+      (Array.to_list (Gpu_spec.levels hw))
+
+let rec times n f acc =
+  if n <= 0 then Ok (List.rev acc)
+  else
+    let* x = f () in
+    times (n - 1) f (x :: acc)
+
+let decode cur =
+  let start = Codec.lineno cur in
+  let* name = Codec.field_str cur "gpu" in
+  let* sm_count = Codec.field_int cur "sm_count" in
+  let* cores_per_sm = Codec.field_int cur "cores_per_sm" in
+  let* clock_ghz = Codec.field_float cur "clock_ghz" in
+  let* warp_size = Codec.field_int cur "warp_size" in
+  let* max_threads_per_sm = Codec.field_int cur "max_threads_per_sm" in
+  let* max_threads_per_block = Codec.field_int cur "max_threads_per_block" in
+  let* registers_per_sm = Codec.field_int cur "registers_per_sm" in
+  let* power_watts = Codec.field_float cur "power_watts" in
+  let* n_levels = Codec.field_int cur "mem_levels" in
+  let* () =
+    if n_levels >= 3 && n_levels <= 8 then Ok ()
+    else Codec.error start "implausible memory level count %d" n_levels
+  in
+  let* levels =
+    times n_levels
+      (fun () ->
+        let* ln, toks = Codec.field cur "level" in
+        let* lname, toks = Codec.take_str ~line:ln toks in
+        let* sc, toks = Codec.take_atom ~line:ln toks in
+        let* scope = scope_of_atom ~line:ln sc in
+        let* capacity_bytes, toks = Codec.take_int ~line:ln toks in
+        let* bandwidth_gbs, toks = Codec.take_float ~line:ln toks in
+        let* latency_cycles, toks = Codec.take_float ~line:ln toks in
+        let* banks, toks = Codec.take_int ~line:ln toks in
+        let* bank_width_bytes, toks = Codec.take_int ~line:ln toks in
+        let* () = Codec.finish ~line:ln toks in
+        match
+          Mem_level.v ~name:lname ~scope ~capacity_bytes ~bandwidth_gbs
+            ~latency_cycles ~banks ~bank_width_bytes ()
+        with
+        | exception Invalid_argument m ->
+          Codec.error ln "invalid memory level: %s" m
+        | lv -> Ok lv)
+      []
+  in
+  match
+    Gpu_spec.v ~name ~sm_count ~cores_per_sm ~clock_ghz ~warp_size
+      ~max_threads_per_sm ~max_threads_per_block ~registers_per_sm
+      ~power_watts ~levels:(Array.of_list levels)
+  with
+  | exception Invalid_argument m ->
+    Codec.error start "invalid device spec: %s" m
+  | hw -> Ok hw
+
+let fingerprint hw =
+  String.sub (Digest.to_hex (Digest.string (String.concat "\n" (encode hw)))) 0 12

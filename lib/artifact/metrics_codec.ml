@@ -1,0 +1,48 @@
+(* Text codec for {!Costmodel.Metrics.t}: one fixed-order field per line
+   plus the per-level footprint vector.  Floats use the exact round-trip
+   formatting of {!Codec.float_str}, so [decode (encode m)] is structurally
+   identical to [m]. *)
+
+open Costmodel
+
+let ( let* ) = Result.bind
+
+let encode (m : Metrics.t) =
+  let f k v = Fmt.str "%s %s" k (Codec.float_str v) in
+  let i k v = Fmt.str "%s %d" k v in
+  [ f "exec_time_s" m.exec_time_s;
+    f "achieved_flops" m.achieved_flops;
+    f "compute_throughput" m.compute_throughput;
+    f "sm_occupancy" m.sm_occupancy;
+    f "mem_busy" m.mem_busy;
+    f "l2_hit_rate" m.l2_hit_rate;
+    f "dram_bytes" m.dram_bytes;
+    f "l2_bytes" m.l2_bytes;
+    f "smem_bytes" m.smem_bytes;
+    f "bank_conflict_factor" m.bank_conflict_factor;
+    i "threads_per_block" m.threads_per_block;
+    i "grid_blocks" m.grid_blocks;
+    Fmt.str "footprints%s"
+      (String.concat ""
+         (List.map (fun v -> Fmt.str " %d" v) (Array.to_list m.footprints)))
+  ]
+
+let decode cur =
+  let* exec_time_s = Codec.field_float cur "exec_time_s" in
+  let* achieved_flops = Codec.field_float cur "achieved_flops" in
+  let* compute_throughput = Codec.field_float cur "compute_throughput" in
+  let* sm_occupancy = Codec.field_float cur "sm_occupancy" in
+  let* mem_busy = Codec.field_float cur "mem_busy" in
+  let* l2_hit_rate = Codec.field_float cur "l2_hit_rate" in
+  let* dram_bytes = Codec.field_float cur "dram_bytes" in
+  let* l2_bytes = Codec.field_float cur "l2_bytes" in
+  let* smem_bytes = Codec.field_float cur "smem_bytes" in
+  let* bank_conflict_factor = Codec.field_float cur "bank_conflict_factor" in
+  let* threads_per_block = Codec.field_int cur "threads_per_block" in
+  let* grid_blocks = Codec.field_int cur "grid_blocks" in
+  let* footprints = Codec.field_ints cur "footprints" in
+  Ok
+    { Metrics.exec_time_s; achieved_flops; compute_throughput; sm_occupancy;
+      mem_busy; l2_hit_rate; dram_bytes; l2_bytes; smem_bytes;
+      bank_conflict_factor; threads_per_block; grid_blocks;
+      footprints = Array.of_list footprints }

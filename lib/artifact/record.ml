@@ -1,0 +1,122 @@
+(* The compilation artifact: everything needed to reuse a tuned schedule in
+   another process — the compute definition, the scheduled ETIR state, its
+   predicted metrics, the device it was tuned for, and provenance (method,
+   search seed, construction steps, verify status).
+
+   [encode] produces the complete framed file text; [decode] is its total
+   inverse.  The embedded device fingerprint is recomputed from the decoded
+   spec and must match, so a hand-edited device section cannot masquerade as
+   a different GPU's tuning. *)
+
+let ( let* ) = Result.bind
+
+type verify_status = Not_verified | Verified of Verify.Diagnostic.t list
+
+type t = {
+  method_name : string;
+  seed : int option;  (** search seed the schedule was tuned with *)
+  steps : int;  (** construction states explored to find it *)
+  device : Hardware.Gpu_spec.t;
+  device_fingerprint : string;
+  compute : Tensor_lang.Compute.t;
+  etir : Sched.Etir.t;
+  metrics : Costmodel.Metrics.t;
+  verify : verify_status;
+}
+
+let v ~method_name ?seed ?(steps = 0) ?verify ~device ~etir ~metrics () =
+  let verify =
+    match verify with None -> Not_verified | Some ds -> Verified ds
+  in
+  { method_name; seed; steps; device;
+    device_fingerprint = Gpu_codec.fingerprint device;
+    compute = Sched.Etir.compute etir; etir; metrics; verify }
+
+let compute_fingerprint t = Compute_codec.fingerprint t.compute
+
+let verify_errors t =
+  match t.verify with
+  | Not_verified -> 0
+  | Verified ds -> List.length (Verify.Diagnostic.errors ds)
+
+let shape_string t =
+  String.concat "x"
+    (List.map
+       (fun ax -> string_of_int (Tensor_lang.Axis.extent ax))
+       (Tensor_lang.Compute.axes t.compute))
+
+let payload_lines t =
+  [ Fmt.str "method %s" (Codec.quote t.method_name);
+    (match t.seed with
+    | None -> "seed none"
+    | Some s -> Fmt.str "seed %d" s);
+    Fmt.str "steps %d" t.steps;
+    Fmt.str "device_fp %s" t.device_fingerprint ]
+  @ Gpu_codec.encode t.device
+  @ Compute_codec.encode t.compute
+  @ Etir_codec.encode t.etir
+  @ Metrics_codec.encode t.metrics
+  @ (match t.verify with
+    | Not_verified -> [ "verify none" ]
+    | Verified ds -> "verify run" :: Verify_codec.encode ds)
+
+let encode t = Codec.frame (String.concat "\n" (payload_lines t) ^ "\n")
+
+let decode text =
+  let* payload = Codec.unframe text in
+  let cur = Codec.cursor ~base:Codec.payload_base payload in
+  let* method_name = Codec.field_str cur "method" in
+  let* ln_seed, seed_toks = Codec.field cur "seed" in
+  let* seed =
+    match seed_toks with
+    | [ Codec.Atom "none" ] -> Ok None
+    | toks ->
+      let* s, rest = Codec.take_int ~line:ln_seed toks in
+      let* () = Codec.finish ~line:ln_seed rest in
+      Ok (Some s)
+  in
+  let* steps = Codec.field_int cur "steps" in
+  let* fp_ln, fp_toks = Codec.field cur "device_fp" in
+  let* claimed_fp, rest = Codec.take_atom ~line:fp_ln fp_toks in
+  let* () = Codec.finish ~line:fp_ln rest in
+  let* device = Gpu_codec.decode cur in
+  let* () =
+    let actual = Gpu_codec.fingerprint device in
+    if String.equal actual claimed_fp then Ok ()
+    else
+      Codec.error fp_ln
+        "device fingerprint mismatch: header says %s, spec hashes to %s"
+        claimed_fp actual
+  in
+  let* compute = Compute_codec.decode cur in
+  let* etir = Etir_codec.decode ~compute cur in
+  let* metrics = Metrics_codec.decode cur in
+  let* vln, vtoks = Codec.field cur "verify" in
+  let* vtag, rest = Codec.take_atom ~line:vln vtoks in
+  let* () = Codec.finish ~line:vln rest in
+  let* verify =
+    match vtag with
+    | "none" -> Ok Not_verified
+    | "run" ->
+      let* ds = Verify_codec.decode cur in
+      Ok (Verified ds)
+    | other -> Codec.error vln "unknown verify status %S" other
+  in
+  if Codec.at_end cur then
+    Ok
+      { method_name; seed; steps; device;
+        device_fingerprint = claimed_fp; compute; etir; metrics; verify }
+  else Codec.error (Codec.lineno cur) "trailing content after artifact body"
+
+let pp_summary ppf t =
+  Fmt.pf ppf "%s %s [%s] device=%s score=%.3g steps=%d%s"
+    (Tensor_lang.Compute.name t.compute)
+    (shape_string t) t.method_name t.device_fingerprint
+    (Costmodel.Metrics.score t.metrics)
+    t.steps
+    (match t.verify with
+    | Not_verified -> ""
+    | Verified ds ->
+      let errs = List.length (Verify.Diagnostic.errors ds) in
+      if errs = 0 then Fmt.str " verified(%d diags)" (List.length ds)
+      else Fmt.str " VERIFY-ERRORS=%d" errs)

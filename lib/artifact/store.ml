@@ -1,0 +1,191 @@
+(* Persistent on-disk artifact store.
+
+   Layout: one framed [Record] file per entry, named `<md5 of key>.gat`,
+   plus an advisory human-readable `INDEX.tsv` regenerated on every write.
+   The key is (device fingerprint, method name, compute fingerprint) — the
+   identity under which a tuned schedule is reusable.
+
+   Crash/concurrency safety:
+   - writes go to a temp file in the same directory and are published with
+     [Sys.rename], which is atomic within a filesystem — a reader never
+     observes a half-written artifact, and a crash leaves at most a stray
+     temp file;
+   - the checksummed framing catches anything that still goes wrong on
+     disk: [open_] skips undecodable entries and reports them as {!issues}
+     instead of failing, so one corrupt file cannot poison the store;
+   - all store state is behind a mutex, so a [t] can be shared across the
+     domains of [Parallel.Pool]. *)
+
+type issue = { path : string; error : Codec.error }
+
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  table : (string, Record.t) Hashtbl.t;
+  mutable issues : issue list;
+}
+
+let suffix = ".gat"
+let index_file = "INDEX.tsv"
+
+let key ~device_fingerprint ~method_name ~compute_fingerprint =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ device_fingerprint; method_name; compute_fingerprint ]))
+
+let key_of_record (r : Record.t) =
+  key ~device_fingerprint:r.device_fingerprint ~method_name:r.method_name
+    ~compute_fingerprint:(Record.compute_fingerprint r)
+
+let filename_of_key k = k ^ suffix
+let path_of_key t k = Filename.concat t.dir (filename_of_key k)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publish: same-directory temp file + rename. *)
+let write_file_atomic ~dir ~path contents =
+  let tmp = Filename.temp_file ~temp_dir:dir ".artifact-" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* Keep the better-scoring record when two files map to the same key (can
+   only happen when files were copied in by hand). *)
+let remember t k (r : Record.t) =
+  match Hashtbl.find_opt t.table k with
+  | Some old when Costmodel.Metrics.score old.metrics
+                  >= Costmodel.Metrics.score r.metrics ->
+    ()
+  | _ -> Hashtbl.replace t.table k r
+
+let scan t =
+  let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.sort compare files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f suffix then begin
+        let path = Filename.concat t.dir f in
+        match Record.decode (read_file path) with
+        | Ok r -> remember t (key_of_record r) r
+        | Error error -> t.issues <- { path; error } :: t.issues
+        | exception Sys_error m ->
+          t.issues <-
+            { path; error = { Codec.line = 0; msg = m } } :: t.issues
+      end)
+    files;
+  t.issues <- List.rev t.issues
+
+let open_ dir =
+  mkdir_p dir;
+  let t = { dir; lock = Mutex.create (); table = Hashtbl.create 64; issues = [] } in
+  scan t;
+  t
+
+let env_var = "GENSOR_CACHE_DIR"
+
+let open_env () =
+  match Sys.getenv_opt env_var with
+  | Some dir when String.trim dir <> "" -> Some (open_ dir)
+  | _ -> None
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let dir t = t.dir
+let size t = locked t (fun () -> Hashtbl.length t.table)
+let issues t = locked t (fun () -> t.issues)
+
+let find t ~device_fingerprint ~method_name ~compute_fingerprint =
+  let k = key ~device_fingerprint ~method_name ~compute_fingerprint in
+  locked t (fun () -> Hashtbl.find_opt t.table k)
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* Advisory index for humans and text tools; the .gat files are the truth. *)
+let write_index_unlocked t =
+  let rows =
+    Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, (r : Record.t)) ->
+           Fmt.str "%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s" k
+             (Tensor_lang.Compute.name r.compute)
+             (Record.shape_string r) r.method_name r.device_fingerprint
+             (Codec.float_str (Costmodel.Metrics.score r.metrics))
+             r.steps (filename_of_key k))
+  in
+  let body =
+    String.concat "\n"
+      ("# key\tname\tshape\tmethod\tdevice\tscore\tsteps\tfile" :: rows)
+    ^ "\n"
+  in
+  try write_file_atomic ~dir:t.dir ~path:(Filename.concat t.dir index_file) body
+  with Sys_error _ -> ()
+
+let put t (r : Record.t) =
+  let k = key_of_record r in
+  locked t (fun () ->
+      remember t k r;
+      (match Hashtbl.find_opt t.table k with
+      | Some kept when kept == r ->
+        write_file_atomic ~dir:t.dir ~path:(path_of_key t k) (Record.encode r)
+      | _ -> ());
+      write_index_unlocked t);
+  k
+
+let total_bytes t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun k _ acc ->
+          let p = path_of_key t k in
+          acc + (try (Unix.stat p).Unix.st_size with Unix.Unix_error _ -> 0))
+        t.table 0)
+
+let purge t =
+  locked t (fun () ->
+      let n = Hashtbl.length t.table in
+      Hashtbl.iter
+        (fun k _ ->
+          try Sys.remove (path_of_key t k) with Sys_error _ -> ())
+        t.table;
+      Hashtbl.reset t.table;
+      t.issues <- [];
+      (try Sys.remove (Filename.concat t.dir index_file)
+       with Sys_error _ -> ());
+      n)
+
+let export t ~key:k ~dest =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | None -> Error (Fmt.str "no artifact with key %s" k)
+      | Some r ->
+        (try
+           write_file_atomic ~dir:(Filename.dirname dest) ~path:dest
+             (Record.encode r);
+           Ok ()
+         with Sys_error m -> Error m))
+
+let pp_issue ppf i =
+  Fmt.pf ppf "%s: %a" i.path Codec.pp_error i.error

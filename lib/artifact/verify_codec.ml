@@ -1,0 +1,56 @@
+(* Text codec for {!Verify.Diagnostic.t} lists — the verify status an
+   artifact carries.  Locations and messages are arbitrary human text, so
+   both travel as quoted strings. *)
+
+open Verify
+
+let ( let* ) = Result.bind
+
+let severity_atom = Diagnostic.severity_to_string
+let pass_atom = Diagnostic.pass_to_string
+
+let severity_of_atom ~line = function
+  | "error" -> Ok Diagnostic.Error
+  | "warning" -> Ok Diagnostic.Warning
+  | "info" -> Ok Diagnostic.Info
+  | other -> Codec.error line "unknown severity %S" other
+
+let pass_of_atom ~line = function
+  | "bounds" -> Ok Diagnostic.Bounds
+  | "race" -> Ok Diagnostic.Race
+  | "lint" -> Ok Diagnostic.Lint
+  | other -> Codec.error line "unknown pass %S" other
+
+let encode (ds : Diagnostic.t list) =
+  Fmt.str "diags %d" (List.length ds)
+  :: List.map
+       (fun (d : Diagnostic.t) ->
+         Fmt.str "diag %s %s %s %s" (severity_atom d.severity)
+           (pass_atom d.pass) (Codec.quote d.loc) (Codec.quote d.message))
+       ds
+
+let rec times n f acc =
+  if n <= 0 then Ok (List.rev acc)
+  else
+    let* x = f () in
+    times (n - 1) f (x :: acc)
+
+let decode cur =
+  let start = Codec.lineno cur in
+  let* n = Codec.field_int cur "diags" in
+  let* () =
+    if n >= 0 && n <= 100_000 then Ok ()
+    else Codec.error start "implausible diagnostic count %d" n
+  in
+  times n
+    (fun () ->
+      let* ln, toks = Codec.field cur "diag" in
+      let* sev, toks = Codec.take_atom ~line:ln toks in
+      let* severity = severity_of_atom ~line:ln sev in
+      let* pa, toks = Codec.take_atom ~line:ln toks in
+      let* pass = pass_of_atom ~line:ln pa in
+      let* loc, toks = Codec.take_str ~line:ln toks in
+      let* message, toks = Codec.take_str ~line:ln toks in
+      let* () = Codec.finish ~line:ln toks in
+      Ok { Diagnostic.severity; pass; loc; message })
+    []

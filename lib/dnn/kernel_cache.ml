@@ -7,6 +7,13 @@
      schedule (warm miss: a quarter-budget refinement), falling back to a
      full cold construction when no compatible schedule exists (cold miss).
 
+   The cache is two-tier: L1 is this in-memory table, L2 an optional
+   persistent {!Artifact.Store}.  At [create] every store entry tuned for
+   the same device is preloaded into L1 — so a second process starts with
+   exact hits and warm starts instead of cold constructions — and every
+   construction is written through, making its cost a one-time expense per
+   (device, operator, shape) rather than per process.
+
    This turns per-shape optimisation cost from "seconds per new shape" into
    "seconds once per operator family", which is what real-time
    re-optimisation of dynamic networks needs. *)
@@ -22,42 +29,111 @@ type entry = {
 type lookup = Hit | Warm_miss | Cold_miss
 
 type stats = {
-  mutable hits : int;
-  mutable warm_misses : int;
-  mutable cold_misses : int;
-  mutable construction_steps : int;
+  hits : int;
+  warm_misses : int;
+  cold_misses : int;
+  construction_steps : int;
+  store_hits : int;
+  store_writes : int;
 }
+
+(* Internal mutable counters; {!stats} snapshots them. *)
+type counters = {
+  mutable c_hits : int;
+  mutable c_warm_misses : int;
+  mutable c_cold_misses : int;
+  mutable c_construction_steps : int;
+  mutable c_store_hits : int;
+  mutable c_store_writes : int;
+}
+
+(* Store identity of schedules this cache produces. *)
+let method_name = "gensor"
 
 type t = {
   hw : Hardware.Gpu_spec.t;
   config : Gensor.Optimizer.config;
-  entries : (string, entry) Hashtbl.t;         (* exact shape key *)
+  entries : (string, entry) Hashtbl.t;            (* exact shape key *)
   families : (string, entry list ref) Hashtbl.t;  (* structural key *)
-  stats : stats;
+  counters : counters;
+  store : Artifact.Store.t option;
+  device_fp : string;
+  preloaded : (string, unit) Hashtbl.t;  (* shape keys that came from L2 *)
 }
 
-let create ?(config = Gensor.Optimizer.default_config) ~hw () =
-  { hw; config; entries = Hashtbl.create 64; families = Hashtbl.create 16;
-    stats = { hits = 0; warm_misses = 0; cold_misses = 0; construction_steps = 0 } }
+(* Structured keys.  The operator name travels OCaml-quoted ([%S]), so a
+   name containing the joiner characters ('|', 'x', ',', '~') cannot
+   collide with the structural part; axis markers carry the kind, so a
+   spatial "k" and a reduce "k" stay distinct. *)
 
-(* Exact key: name plus every axis extent. *)
+(* Exact key: quoted name plus every axis as kind-marker + extent. *)
 let shape_key compute =
-  Fmt.str "%s|%s" (Compute.name compute)
+  Fmt.str "%s %s"
+    (Printf.sprintf "%S" (Compute.name compute))
     (String.concat "x"
        (List.map
-          (fun ax -> string_of_int (Axis.extent ax))
+          (fun ax ->
+            Fmt.str "%s%d"
+              (if Axis.is_reduce ax then "r" else "s")
+              (Axis.extent ax))
           (Compute.axes compute)))
 
-(* Family key: name plus the axis *structure* (names and kinds), ignoring
-   extents — schedules retarget within a family. *)
+(* Family key: quoted name plus the axis *structure* (quoted names and
+   kinds), ignoring extents — schedules retarget within a family. *)
 let family_key compute =
-  Fmt.str "%s|%s" (Compute.name compute)
+  Fmt.str "%s %s"
+    (Printf.sprintf "%S" (Compute.name compute))
     (String.concat ","
        (List.map
           (fun ax ->
-            Fmt.str "%s%s" (Axis.name ax)
+            Fmt.str "%s%s"
+              (Printf.sprintf "%S" (Axis.name ax))
               (if Axis.is_reduce ax then "~" else ""))
           (Compute.axes compute)))
+
+let family_of t fkey =
+  match Hashtbl.find_opt t.families fkey with
+  | Some family -> family
+  | None ->
+    let family = ref [] in
+    Hashtbl.add t.families fkey family;
+    family
+
+let remember t entry =
+  let key = shape_key entry.compute in
+  Hashtbl.replace t.entries key entry;
+  let family = family_of t (family_key entry.compute) in
+  family := entry :: !family;
+  key
+
+(* L2 -> L1: adopt every store entry tuned by this method for this device.
+   Entries for other devices or methods are left alone. *)
+let preload t store =
+  List.iter
+    (fun (_, (r : Artifact.Record.t)) ->
+      if
+        String.equal r.device_fingerprint t.device_fp
+        && String.equal r.method_name method_name
+      then begin
+        let key =
+          remember t
+            { compute = r.compute; etir = r.etir; metrics = r.metrics }
+        in
+        Hashtbl.replace t.preloaded key ()
+      end)
+    (Artifact.Store.entries store)
+
+let create ?(config = Gensor.Optimizer.default_config) ?store ~hw () =
+  let t =
+    { hw; config; entries = Hashtbl.create 64; families = Hashtbl.create 16;
+      counters =
+        { c_hits = 0; c_warm_misses = 0; c_cold_misses = 0;
+          c_construction_steps = 0; c_store_hits = 0; c_store_writes = 0 };
+      store; device_fp = Artifact.Gpu_codec.fingerprint hw;
+      preloaded = Hashtbl.create 16 }
+  in
+  Option.iter (preload t) store;
+  t
 
 (* Nearest family member by log-space distance over the axis extents. *)
 let nearest_in_family family compute =
@@ -80,23 +156,27 @@ let nearest_in_family family compute =
            if distance candidate < distance best then candidate else best)
          first rest)
 
+let write_through t entry ~steps =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    let r =
+      Artifact.Record.v ~method_name ~seed:t.config.Gensor.Optimizer.seed
+        ~steps ~device:t.hw ~etir:entry.etir ~metrics:entry.metrics ()
+    in
+    ignore (Artifact.Store.put store r : string);
+    t.counters.c_store_writes <- t.counters.c_store_writes + 1
+
 let compile t compute =
   let key = shape_key compute in
   match Hashtbl.find_opt t.entries key with
   | Some entry ->
-    t.stats.hits <- t.stats.hits + 1;
+    t.counters.c_hits <- t.counters.c_hits + 1;
+    if Hashtbl.mem t.preloaded key then
+      t.counters.c_store_hits <- t.counters.c_store_hits + 1;
     (entry, Hit)
   | None ->
-    let fkey = family_key compute in
-    let family =
-      match Hashtbl.find_opt t.families fkey with
-      | Some family -> family
-      | None ->
-        let family = ref [] in
-        Hashtbl.add t.families fkey family;
-        family
-    in
-    let warm = nearest_in_family !family compute in
+    let warm = nearest_in_family !(family_of t (family_key compute)) compute in
     let result =
       match warm with
       | Some seed ->
@@ -105,17 +185,24 @@ let compile t compute =
       | None -> Gensor.Optimizer.optimize ~config:t.config ~hw:t.hw compute
     in
     (match warm with
-    | Some _ -> t.stats.warm_misses <- t.stats.warm_misses + 1
-    | None -> t.stats.cold_misses <- t.stats.cold_misses + 1);
-    t.stats.construction_steps <-
-      t.stats.construction_steps + result.Gensor.Optimizer.states_explored;
+    | Some _ -> t.counters.c_warm_misses <- t.counters.c_warm_misses + 1
+    | None -> t.counters.c_cold_misses <- t.counters.c_cold_misses + 1);
+    t.counters.c_construction_steps <-
+      t.counters.c_construction_steps + result.Gensor.Optimizer.states_explored;
     let entry =
       { compute; etir = result.Gensor.Optimizer.etir;
         metrics = result.Gensor.Optimizer.metrics }
     in
-    Hashtbl.add t.entries key entry;
-    family := entry :: !family;
+    ignore (remember t entry : string);
+    write_through t entry ~steps:result.Gensor.Optimizer.states_explored;
     (entry, if warm = None then Cold_miss else Warm_miss)
 
-let stats t = t.stats
+let stats t =
+  let c = t.counters in
+  { hits = c.c_hits; warm_misses = c.c_warm_misses;
+    cold_misses = c.c_cold_misses;
+    construction_steps = c.c_construction_steps;
+    store_hits = c.c_store_hits; store_writes = c.c_store_writes }
+
 let size t = Hashtbl.length t.entries
+let preloaded_count t = Hashtbl.length t.preloaded

@@ -4,7 +4,13 @@
     warm-start Gensor from the structurally nearest cached schedule (a
     quarter-budget refinement); unknown families pay one full cold
     construction.  This is the paper's ongoing-work direction
-    ("a dynamic optimizing system based on Gensor"). *)
+    ("a dynamic optimizing system based on Gensor").
+
+    The cache is two-tier: pass [?store] to back the in-memory table with a
+    persistent {!Artifact.Store}.  Store entries tuned for the same device
+    are preloaded at {!create} — a second process gets exact hits and warm
+    starts instead of cold constructions — and every construction is
+    written through. *)
 
 type entry = {
   compute : Tensor_lang.Compute.t;
@@ -14,27 +20,42 @@ type entry = {
 
 type lookup = Hit | Warm_miss | Cold_miss
 
+(** Immutable counter snapshot, taken by {!stats}. *)
 type stats = {
-  mutable hits : int;
-  mutable warm_misses : int;
-  mutable cold_misses : int;
-  mutable construction_steps : int;
+  hits : int;
+  warm_misses : int;
+  cold_misses : int;
+  construction_steps : int;
+  store_hits : int;  (** hits served by an entry preloaded from the store *)
+  store_writes : int;  (** constructions written through to the store *)
 }
 
 type t
 
 val create :
-  ?config:Gensor.Optimizer.config -> hw:Hardware.Gpu_spec.t -> unit -> t
+  ?config:Gensor.Optimizer.config ->
+  ?store:Artifact.Store.t ->
+  hw:Hardware.Gpu_spec.t ->
+  unit ->
+  t
 
-(** Exact shape key (operator name + axis extents). *)
+(** Exact shape key: quoted operator name + per-axis kind marker and
+    extent.  Injective — names containing the joiner characters ('|', 'x',
+    ',') cannot collide with the structural part. *)
 val shape_key : Tensor_lang.Compute.t -> string
 
-(** Family key (operator name + axis structure, extents ignored). *)
+(** Family key: quoted operator name + axis structure (quoted names and
+    kinds), extents ignored. *)
 val family_key : Tensor_lang.Compute.t -> string
 
 (** [compile t compute] returns the kernel for this shape, compiling and
-    caching on a miss. *)
+    caching (and writing through to the store, when present) on a miss. *)
 val compile : t -> Tensor_lang.Compute.t -> entry * lookup
 
+(** Snapshot of the counters at this instant. *)
 val stats : t -> stats
+
 val size : t -> int
+
+(** How many entries arrived from the persistent store at {!create}. *)
+val preloaded_count : t -> int

@@ -1,5 +1,9 @@
 (** End-to-end model evaluation (paper §V-C): compile each distinct operator
-    with a method, charge layers per occurrence. *)
+    with a method, charge layers per occurrence.
+
+    Pass [?store] to probe and fill a persistent {!Artifact.Store}: operators
+    already tuned for this (device, method) pair skip optimisation and charge
+    zero compile time. *)
 
 type report = {
   model : string;
@@ -8,10 +12,16 @@ type report = {
   compile_sim_s : float;
   exec_time_s : float;
   throughput : float;
-  kernels : int;
+  kernels : int;  (** distinct operators compiled *)
+  cached : int;  (** of which served from the artifact store *)
 }
 
-val run : hw:Hardware.Gpu_spec.t -> Pipeline.Methods.t -> Model.t -> report
+val run :
+  ?store:Artifact.Store.t ->
+  hw:Hardware.Gpu_spec.t ->
+  Pipeline.Methods.t ->
+  Model.t ->
+  report
 
 (** The eager PyTorch reference bar (per-op vendor kernels, no fusion). *)
 val run_pytorch : hw:Hardware.Gpu_spec.t -> Model.t -> report

@@ -110,6 +110,19 @@ let cublas () =
             measure_trials = 0;
             wall_s = r.Vendor.Cublas.wall_time_s }) }
 
+(* Artifact view: one compiled output as a persistable artifact and back.
+   A loaded artifact reports zero optimisation cost — the search was paid
+   in whatever process produced it. *)
+
+let to_artifact ?seed ?verify ~method_name ~hw (o : output) =
+  Artifact.Record.v ~method_name ?seed
+    ~steps:(o.analysis_steps + o.tree_steps + o.measure_trials)
+    ?verify ~device:hw ~etir:o.etir ~metrics:o.metrics ()
+
+let of_artifact (r : Artifact.Record.t) =
+  { etir = r.etir; metrics = r.metrics; analysis_steps = 0; tree_steps = 0;
+    measure_trials = 0; wall_s = 0.0 }
+
 (* The standard comparison set of §V-A. *)
 let standard () = [ cublas (); ansor (); roller (); gensor () ]
 

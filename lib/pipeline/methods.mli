@@ -32,6 +32,21 @@ val roller : unit -> t
 val ansor : ?n_trials:int -> unit -> t
 val cublas : unit -> t
 
+(** [to_artifact ~method_name ~hw output] packages one compiled output as a
+    persistable {!Artifact.Record.t} (steps = every kind of optimisation
+    step the method reported). *)
+val to_artifact :
+  ?seed:int ->
+  ?verify:Verify.Diagnostic.t list ->
+  method_name:string ->
+  hw:Hardware.Gpu_spec.t ->
+  output ->
+  Artifact.Record.t
+
+(** Inverse view: a loaded artifact as a compile output.  Costs are zero —
+    the search was paid in the process that produced the artifact. *)
+val of_artifact : Artifact.Record.t -> output
+
 (** cuBLAS, Ansor, Roller, Gensor — the §V-A comparison set. *)
 val standard : unit -> t list
 

@@ -1,0 +1,513 @@
+(* The artifact layer's contract (ISSUE 3):
+   - every codec satisfies the round-trip law [decode (encode x) = x]
+     (checked as canonical re-encoding equality, plus [Etir.eval_equal] for
+     schedules) under QCheck over adversarial inputs — operator and tensor
+     names containing the old flat-key joiner characters, extreme floats;
+   - every decode path is total: truncated files, corrupted payloads, stale
+     versions and tampered fields yield positioned [Error]s, never an
+     exception or a silently wrong value;
+   - the store round-trips records through disk, skips corrupt entries with
+     a diagnostic, and serves exact lookups to a fresh open. *)
+
+open Tensor_lang
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let hw = Hardware.Presets.rtx4090
+
+(* ---------- generators ---------- *)
+
+(* Names exercising the characters the old flat keys joined on, plus
+   escapes the quoted format must survive. *)
+let weird_names =
+  [ "gemm"; "op|x"; "a,b"; "k~"; "has space"; "qu\"ote"; "back\\slash";
+    "newline\nname"; "x" ]
+
+let gen_name st = QCheck.Gen.oneofl weird_names st
+
+let gen_dtype st = QCheck.Gen.oneofl [ Dtype.F16; Dtype.F32; Dtype.I8; Dtype.I32 ] st
+
+let gen_float st =
+  QCheck.Gen.oneofl
+    [ 0.0; 1.0; -1.0; 0.5; -0.0; 1e-30; 3.25e13; Float.pi; 1.0 /. 3.0;
+      -2.75e-7 ]
+    st
+
+(* Three structurally distinct families; axis and tensor names drawn from
+   the adversarial pool. *)
+let gen_compute st =
+  let open QCheck.Gen in
+  let name = gen_name st in
+  let m = int_range 2 48 st and n = int_range 2 48 st in
+  let k = int_range 2 48 st in
+  let dt = gen_dtype st in
+  let init = gen_float st and scale = oneofl [ 1.0; 0.5; 0.0625 ] st in
+  match int_range 0 2 st with
+  | 0 ->
+    (* GEMM-shaped: 2 spatial + 1 reduce, two inputs. *)
+    Compute.v ~name
+      ~axes:
+        [ Axis.v "i|" m; Axis.v "j,x" n; Axis.v ~kind:Axis.Reduce "k~" k ]
+      ~inputs:
+        [ { Compute.in_name = "A|1"; in_shape = [ m; k ]; in_dtype = dt };
+          { Compute.in_name = "B x"; in_shape = [ k; n ]; in_dtype = dt } ]
+      ~out_name:"C" ~out_dtype:dt ~init ~scale
+      ~body:
+        (Expr.Mul
+           ( Expr.Read (Access.v "A|1" [ Index.Var "i|"; Index.Var "k~" ]),
+             Expr.Read (Access.v "B x" [ Index.Var "k~"; Index.Var "j,x" ]) ))
+      ()
+  | 1 ->
+    (* Elementwise epilogue: spatial only. *)
+    Compute.v ~name
+      ~axes:[ Axis.v "i" m; Axis.v "j" n ]
+      ~inputs:[ { Compute.in_name = "X"; in_shape = [ m; n ]; in_dtype = dt } ]
+      ~out_name:"Y" ~out_dtype:dt ~scale
+      ~body:
+        (Expr.Max
+           ( Expr.Read (Access.v "X" [ Index.Var "i"; Index.Var "j" ]),
+             Expr.Imm (gen_float st) ))
+      ()
+  | _ ->
+    (* Max-reduction with an index-arithmetic access. *)
+    Compute.v ~name
+      ~axes:[ Axis.v "i" m; Axis.v ~kind:Axis.Reduce "k" k ]
+      ~inputs:
+        [ { Compute.in_name = "V"; in_shape = [ m; k ]; in_dtype = dt } ]
+      ~out_name:"O" ~out_dtype:dt ~init ~combine:Compute.Max_combine
+      ~body:
+        (Expr.Neg
+           (Expr.Read
+              (Access.v "V"
+                 [ Index.Var "i";
+                   Index.Min (Index.Var "k", Index.Const (k - 1)) ])))
+      ()
+
+let print_compute c = Fmt.str "%a" Compute.pp c
+
+(* Random schedulable state over a random compute: tiles in [1, extent]
+   per level, vthreads within the thread tile, random cursor. *)
+let gen_etir st =
+  let open QCheck.Gen in
+  let c = gen_compute st in
+  let e = Sched.Etir.create c in
+  let spatial = Sched.Etir.spatial_extents e in
+  let reduce = Sched.Etir.reduce_extents e in
+  let e = ref e in
+  for level = 0 to Sched.Etir.num_levels !e do
+    Array.iteri
+      (fun dim ext ->
+        e := Sched.Etir.with_stile !e ~level ~dim (int_range 1 ext st))
+      spatial;
+    Array.iteri
+      (fun dim ext ->
+        e := Sched.Etir.with_rtile !e ~level ~dim (int_range 1 ext st))
+      reduce
+  done;
+  Array.iteri
+    (fun dim _ ->
+      let cap = max 1 (Sched.Etir.stile !e ~level:0 ~dim) in
+      e := Sched.Etir.with_vthread !e ~dim (int_range 1 cap st))
+    spatial;
+  e := Sched.Etir.with_cur_level !e (int_range 0 (Sched.Etir.num_levels !e) st);
+  match Sched.Etir.validate !e with
+  | Ok () -> !e
+  | Error _ -> QCheck.assume_fail ()
+
+let gen_metrics st =
+  { Costmodel.Metrics.exec_time_s = gen_float st;
+    achieved_flops = gen_float st;
+    compute_throughput = gen_float st;
+    sm_occupancy = gen_float st;
+    mem_busy = gen_float st;
+    l2_hit_rate = gen_float st;
+    dram_bytes = gen_float st;
+    l2_bytes = gen_float st;
+    smem_bytes = gen_float st;
+    bank_conflict_factor = gen_float st;
+    threads_per_block = QCheck.Gen.int_range 1 1024 st;
+    grid_blocks = QCheck.Gen.int_range 1 100_000 st;
+    footprints =
+      Array.init
+        (QCheck.Gen.int_range 0 4 st)
+        (fun _ -> QCheck.Gen.int_range 0 1_000_000 st) }
+
+(* Random device spec shaped like the presets (register / smem / L2 / DRAM)
+   so [Gpu_spec.v]'s hierarchy rules hold by construction. *)
+let gen_gpu st =
+  let open QCheck.Gen in
+  let level name scope cap bw lat banks =
+    Hardware.Mem_level.v ~name ~scope ~capacity_bytes:cap ~bandwidth_gbs:bw
+      ~latency_cycles:lat ~banks ~bank_width_bytes:4 ()
+  in
+  let reg_cap = int_range 64 2048 st in
+  let smem_cap = int_range 16_384 262_144 st in
+  let l2_cap = int_range 1_000_000 100_000_000 st in
+  let dram_cap = int_range 1_000_000_000 100_000_000_000 st in
+  match
+    Hardware.Gpu_spec.v
+      ~name:(gen_name st)
+      ~sm_count:(int_range 1 256 st)
+      ~cores_per_sm:(int_range 32 256 st)
+      ~clock_ghz:(oneofl [ 0.625; 1.3; 2.52 ] st)
+      ~warp_size:32
+      ~max_threads_per_sm:(oneofl [ 1024; 1536; 2048 ] st)
+      ~max_threads_per_block:1024
+      ~registers_per_sm:(oneofl [ 32_768; 65_536 ] st)
+      ~power_watts:(oneofl [ 15.0; 450.0 ] st)
+      ~levels:
+        [| level "reg" Hardware.Mem_level.Per_thread reg_cap 40_000.0 1.0
+             (int_range 1 8 st);
+           level "smem" Hardware.Mem_level.Per_block smem_cap 19_000.0
+             (float_of_int (int_range 20 40 st))
+             32;
+           level "l2" Hardware.Mem_level.Device l2_cap 5_000.0 200.0 1;
+           level "dram" Hardware.Mem_level.Device dram_cap 1_000.0 500.0 1
+        |]
+  with
+  | hw -> hw
+  | exception Invalid_argument _ -> QCheck.assume_fail ()
+
+let gen_diag st =
+  let open QCheck.Gen in
+  { Verify.Diagnostic.severity =
+      oneofl
+        [ Verify.Diagnostic.Error; Verify.Diagnostic.Warning;
+          Verify.Diagnostic.Info ]
+        st;
+    pass =
+      oneofl
+        [ Verify.Diagnostic.Bounds; Verify.Diagnostic.Race;
+          Verify.Diagnostic.Lint ]
+        st;
+    loc = gen_name st;
+    message = oneofl [ "plain"; "with \"quotes\""; "tab\there"; "nl\nhere" ] st }
+
+let gen_diags st = QCheck.Gen.list_size (QCheck.Gen.int_range 0 5) gen_diag st
+
+(* A full artifact: random schedule, metrics from the real cost model. *)
+let gen_record st =
+  let etir = gen_etir st in
+  let metrics = Costmodel.Model.evaluate ~hw etir in
+  Artifact.Record.v ~method_name:(gen_name st)
+    ?seed:(QCheck.Gen.oneofl [ None; Some 0; Some 42; Some (-7) ] st)
+    ~steps:(QCheck.Gen.int_range 0 10_000 st)
+    ?verify:(QCheck.Gen.oneofl [ None; Some [] ] st)
+    ~device:hw ~etir ~metrics ()
+
+let gen_record_verified st =
+  let r = gen_record st in
+  { r with Artifact.Record.verify = Artifact.Record.Verified (gen_diags st) }
+
+(* ---------- round-trip laws ---------- *)
+
+let fail_error what (e : Artifact.Codec.error) =
+  Alcotest.failf "%s failed to decode: %s" what
+    (Artifact.Codec.error_to_string e)
+
+let prop_compute_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"compute codec round-trips"
+    (QCheck.make gen_compute ~print:print_compute)
+    (fun c ->
+      let lines = Artifact.Compute_codec.encode c in
+      match Artifact.Compute_codec.decode (Artifact.Codec.cursor lines) with
+      | Error e -> fail_error "compute" e
+      | Ok c' ->
+        Artifact.Compute_codec.encode c' = lines
+        && Artifact.Compute_codec.fingerprint c'
+           = Artifact.Compute_codec.fingerprint c)
+
+let prop_etir_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"etir codec round-trips"
+    (QCheck.make gen_etir ~print:(Fmt.str "%a" Sched.Etir.pp))
+    (fun e ->
+      let lines = Artifact.Etir_codec.encode e in
+      match
+        Artifact.Etir_codec.decode ~compute:(Sched.Etir.compute e)
+          (Artifact.Codec.cursor lines)
+      with
+      | Error err -> fail_error "etir" err
+      | Ok e' ->
+        Sched.Etir.eval_equal e e'
+        && Sched.Etir.cur_level e' = Sched.Etir.cur_level e
+        && Artifact.Etir_codec.encode e' = lines)
+
+let prop_metrics_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"metrics codec round-trips exactly"
+    (QCheck.make gen_metrics ~print:(Fmt.str "%a" Costmodel.Metrics.pp))
+    (fun m ->
+      let lines = Artifact.Metrics_codec.encode m in
+      match Artifact.Metrics_codec.decode (Artifact.Codec.cursor lines) with
+      | Error e -> fail_error "metrics" e
+      | Ok m' -> m' = m && Artifact.Metrics_codec.encode m' = lines)
+
+let prop_gpu_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"gpu codec round-trips, stable fingerprint"
+    (QCheck.make gen_gpu ~print:Hardware.Gpu_spec.name)
+    (fun hw ->
+      let lines = Artifact.Gpu_codec.encode hw in
+      match Artifact.Gpu_codec.decode (Artifact.Codec.cursor lines) with
+      | Error e -> fail_error "gpu" e
+      | Ok hw' ->
+        Artifact.Gpu_codec.encode hw' = lines
+        && Artifact.Gpu_codec.fingerprint hw'
+           = Artifact.Gpu_codec.fingerprint hw)
+
+let prop_verify_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"verify codec round-trips"
+    (QCheck.make gen_diags
+       ~print:(Fmt.str "%a" Verify.Diagnostic.pp_report))
+    (fun ds ->
+      let lines = Artifact.Verify_codec.encode ds in
+      match Artifact.Verify_codec.decode (Artifact.Codec.cursor lines) with
+      | Error e -> fail_error "verify" e
+      | Ok ds' -> ds' = ds)
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"full artifact file round-trips"
+    (QCheck.make gen_record_verified
+       ~print:(Fmt.str "%a" Artifact.Record.pp_summary))
+    (fun r ->
+      let text = Artifact.Record.encode r in
+      match Artifact.Record.decode text with
+      | Error e -> fail_error "record" e
+      | Ok r' ->
+        Artifact.Record.encode r' = text
+        && r'.Artifact.Record.method_name = r.Artifact.Record.method_name
+        && r'.Artifact.Record.seed = r.Artifact.Record.seed
+        && r'.Artifact.Record.steps = r.Artifact.Record.steps
+        && r'.Artifact.Record.device_fingerprint
+           = r.Artifact.Record.device_fingerprint
+        && Sched.Etir.eval_equal r'.Artifact.Record.etir
+             r.Artifact.Record.etir
+        && r'.Artifact.Record.metrics = r.Artifact.Record.metrics
+        && r'.Artifact.Record.verify = r.Artifact.Record.verify)
+
+(* Floats that defeat naive printf round-trips still survive (%.17g), and
+   non-finite values are handled. *)
+let test_float_extremes () =
+  List.iter
+    (fun f ->
+      let m = { (QCheck.Gen.generate1 gen_metrics) with
+                Costmodel.Metrics.exec_time_s = f } in
+      let lines = Artifact.Metrics_codec.encode m in
+      match Artifact.Metrics_codec.decode (Artifact.Codec.cursor lines) with
+      | Error e -> fail_error "metrics extreme" e
+      | Ok m' ->
+        check_bool
+          (Fmt.str "float %h round-trips" f)
+          true
+          (Float.equal m'.Costmodel.Metrics.exec_time_s f))
+    [ Float.min_float; Float.max_float; epsilon_float; 0x1.fffffffffffffp-2;
+      infinity; neg_infinity; nan; 1e308; -1e-308 ]
+
+(* ---------- negative paths: corrupt input yields Error, never raises ---- *)
+
+let sample_record () = QCheck.Gen.generate1 ~rand:(Random.State.make [| 7 |]) gen_record
+
+let expect_error what text =
+  match Artifact.Record.decode text with
+  | Ok _ -> Alcotest.failf "%s: decode accepted corrupt input" what
+  | Error e ->
+    check_bool
+      (Fmt.str "%s reports a positive line (%s)" what
+         (Artifact.Codec.error_to_string e))
+      true (e.Artifact.Codec.line >= 1)
+
+let test_truncated () =
+  let text = Artifact.Record.encode (sample_record ()) in
+  expect_error "half file" (String.sub text 0 (String.length text / 2));
+  expect_error "header only" (String.sub text 0 18);
+  expect_error "empty" "";
+  expect_error "one byte" "g"
+
+let test_bad_checksum () =
+  let text = Artifact.Record.encode (sample_record ()) in
+  (* Flip one payload byte without touching the recorded checksum. *)
+  let b = Bytes.of_string text in
+  let pos = String.length text - 5 in
+  Bytes.set b pos (if Bytes.get b pos = '1' then '2' else '1');
+  expect_error "bit flip" (Bytes.to_string b)
+
+let test_wrong_version () =
+  let text = Artifact.Record.encode (sample_record ()) in
+  let nl = String.index text '\n' in
+  let rest = String.sub text nl (String.length text - nl) in
+  expect_error "future version" ("gensor-artifact 99" ^ rest);
+  expect_error "bad magic" ("not-an-artifact 1" ^ rest);
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  match Artifact.Record.decode ("gensor-artifact 99" ^ rest) with
+  | Error e ->
+    check_bool "version error names the version" true
+      (contains ~sub:"version 99" e.Artifact.Codec.msg)
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+(* Tampered-but-checksummed payloads: framing passes, field decoding and
+   re-validation must still reject. *)
+let test_tampered_fields () =
+  let r = sample_record () in
+  let text = Artifact.Record.encode r in
+  let payload_of t =
+    (* strip the two header lines *)
+    let i = String.index t '\n' in
+    let j = String.index_from t (i + 1) '\n' in
+    String.sub t (j + 1) (String.length t - j - 1)
+  in
+  let reframe payload = Artifact.Codec.frame payload in
+  let replace_line ~prefix ~with_ payload =
+    String.split_on_char '\n' payload
+    |> List.map (fun l ->
+           if String.length l >= String.length prefix
+              && String.sub l 0 (String.length prefix) = prefix
+           then with_
+           else l)
+    |> String.concat "\n"
+  in
+  let payload = payload_of text in
+  expect_error "negative axis extent"
+    (reframe (replace_line ~prefix:"axis" ~with_:"axis s \"i\" -5" payload));
+  expect_error "forged device fingerprint"
+    (reframe
+       (replace_line ~prefix:"device_fp" ~with_:"device_fp 000000000000"
+          payload));
+  expect_error "unknown field"
+    (reframe (replace_line ~prefix:"steps" ~with_:"stepz 3" payload));
+  expect_error "trailing garbage"
+    (reframe (payload ^ "\nextra junk 1\n"))
+
+(* ---------- store ---------- *)
+
+let tmp_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "gensor-test-store-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  dir
+
+let test_store_roundtrip () =
+  let dir = tmp_dir () in
+  let store = Artifact.Store.open_ dir in
+  check_int "fresh store is empty" 0 (Artifact.Store.size store);
+  let rand = Random.State.make [| 11 |] in
+  let r1 = QCheck.Gen.generate1 ~rand gen_record in
+  let r2 = QCheck.Gen.generate1 ~rand gen_record in
+  let k1 = Artifact.Store.put store r1 in
+  let _k2 = Artifact.Store.put store r2 in
+  (* A second open simulates a second process. *)
+  let store2 = Artifact.Store.open_ dir in
+  check_bool "no corrupt entries" true (Artifact.Store.issues store2 = []);
+  (match
+     Artifact.Store.find store2
+       ~device_fingerprint:r1.Artifact.Record.device_fingerprint
+       ~method_name:r1.Artifact.Record.method_name
+       ~compute_fingerprint:(Artifact.Record.compute_fingerprint r1)
+   with
+  | None -> Alcotest.fail "persisted entry not found by a fresh open"
+  | Some r1' ->
+    check_bool "reloaded schedule evaluates identically" true
+      (Sched.Etir.eval_equal r1'.Artifact.Record.etir r1.Artifact.Record.etir);
+    check_bool "reloaded metrics identical" true
+      (r1'.Artifact.Record.metrics = r1.Artifact.Record.metrics));
+  (* Export reproduces the exact file bytes. *)
+  let dest = Filename.concat dir "exported.txt" in
+  (match Artifact.Store.export store2 ~key:k1 ~dest with
+  | Error m -> Alcotest.failf "export failed: %s" m
+  | Ok () -> ());
+  (match Artifact.Record.decode (In_channel.with_open_bin dest In_channel.input_all) with
+  | Error e -> fail_error "exported file" e
+  | Ok _ -> ());
+  Sys.remove dest;
+  let before = Artifact.Store.size store2 in
+  check_int "purge removes everything" before (Artifact.Store.purge store2);
+  check_int "purged store is empty" 0
+    (Artifact.Store.size (Artifact.Store.open_ dir));
+  Sys.rmdir dir
+
+let test_store_skips_corrupt () =
+  let dir = tmp_dir () in
+  let store = Artifact.Store.open_ dir in
+  let rand = Random.State.make [| 13 |] in
+  let r1 = QCheck.Gen.generate1 ~rand gen_record in
+  let k1 = Artifact.Store.put store r1 in
+  (* Drop a truncated file and a garbage file beside the good one. *)
+  let truncated = Filename.concat dir "deadbeef.gat" in
+  let good_text =
+    In_channel.with_open_bin
+      (Filename.concat dir (k1 ^ ".gat"))
+      In_channel.input_all
+  in
+  Out_channel.with_open_bin truncated (fun oc ->
+      Out_channel.output_string oc
+        (String.sub good_text 0 (String.length good_text / 3)));
+  Out_channel.with_open_bin (Filename.concat dir "junk.gat") (fun oc ->
+      Out_channel.output_string oc "not an artifact at all");
+  let store2 = Artifact.Store.open_ dir in
+  check_int "good entry still loads" 1 (Artifact.Store.size store2);
+  check_int "both corrupt files reported" 2
+    (List.length (Artifact.Store.issues store2));
+  List.iter
+    (fun (i : Artifact.Store.issue) ->
+      check_bool "issue names the file" true
+        (Filename.check_suffix i.path ".gat"))
+    (Artifact.Store.issues store2);
+  ignore (Artifact.Store.purge store2 : int);
+  Sys.remove truncated;
+  Sys.remove (Filename.concat dir "junk.gat");
+  Sys.rmdir dir
+
+let test_store_keeps_better_duplicate () =
+  let dir = tmp_dir () in
+  let store = Artifact.Store.open_ dir in
+  let rand = Random.State.make [| 17 |] in
+  let r = QCheck.Gen.generate1 ~rand gen_record in
+  let better =
+    { r with
+      Artifact.Record.metrics =
+        { r.Artifact.Record.metrics with
+          Costmodel.Metrics.achieved_flops =
+            r.Artifact.Record.metrics.Costmodel.Metrics.achieved_flops +. 1.0 } }
+  in
+  let k = Artifact.Store.put store better in
+  check_string "same identity, same key" k (Artifact.Store.put store r);
+  check_int "one entry" 1 (Artifact.Store.size store);
+  (match
+     Artifact.Store.find store
+       ~device_fingerprint:r.Artifact.Record.device_fingerprint
+       ~method_name:r.Artifact.Record.method_name
+       ~compute_fingerprint:(Artifact.Record.compute_fingerprint r)
+   with
+  | Some kept ->
+    check_bool "better score wins" true
+      (kept.Artifact.Record.metrics
+       = better.Artifact.Record.metrics)
+  | None -> Alcotest.fail "entry vanished");
+  ignore (Artifact.Store.purge store : int);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "artifact"
+    [ ( "roundtrip",
+        [ QCheck_alcotest.to_alcotest prop_compute_roundtrip;
+          QCheck_alcotest.to_alcotest prop_etir_roundtrip;
+          QCheck_alcotest.to_alcotest prop_metrics_roundtrip;
+          QCheck_alcotest.to_alcotest prop_gpu_roundtrip;
+          QCheck_alcotest.to_alcotest prop_verify_roundtrip;
+          QCheck_alcotest.to_alcotest prop_record_roundtrip;
+          Alcotest.test_case "extreme floats" `Quick test_float_extremes ] );
+      ( "corruption",
+        [ Alcotest.test_case "truncated files" `Quick test_truncated;
+          Alcotest.test_case "bad checksum" `Quick test_bad_checksum;
+          Alcotest.test_case "wrong version / magic" `Quick test_wrong_version;
+          Alcotest.test_case "tampered fields" `Quick test_tampered_fields ] );
+      ( "store",
+        [ Alcotest.test_case "persist and reload" `Quick test_store_roundtrip;
+          Alcotest.test_case "skips corrupt entries" `Quick
+            test_store_skips_corrupt;
+          Alcotest.test_case "duplicate keeps better score" `Quick
+            test_store_keeps_better_duplicate ] ) ]

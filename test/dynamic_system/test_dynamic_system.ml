@@ -98,6 +98,166 @@ let test_cache_keys () =
     (Dnn.Kernel_cache.family_key a)
     (Dnn.Kernel_cache.family_key b)
 
+(* Regression: the old flat keys ("name|e1xe2", "name|n1,n2~") conflated
+   structurally different operators whenever a name or axis name contained
+   the joiner characters, or when axes differed only in kind. *)
+let test_cache_key_injectivity () =
+  let open Tensor_lang in
+  let mk ~name ~axes =
+    Compute.v ~name ~axes
+      ~inputs:
+        [ { Compute.in_name = "X";
+            in_shape = List.map Axis.extent axes;
+            in_dtype = Dtype.F32 } ]
+      ~out_name:"O"
+      ~body:(Expr.Read (Access.v "X" (List.map (fun a -> Index.Var (Axis.name a)) axes)))
+      ()
+  in
+  (* Axis named "i,j" vs two axes "i","j": identical under the old family
+     key ("op|i,j"). *)
+  let fused = mk ~name:"op" ~axes:[ Axis.v "i,j" 8 ] in
+  let split = mk ~name:"op" ~axes:[ Axis.v "i" 8; Axis.v "j" 8 ] in
+  check_bool "axis name containing ',' keeps its own family" true
+    (Dnn.Kernel_cache.family_key fused <> Dnn.Kernel_cache.family_key split);
+  (* Spatial vs reduce axis of the same extent: identical under the old
+     shape key ("op|8x8"). *)
+  let spatial = mk ~name:"op2" ~axes:[ Axis.v "i" 8; Axis.v "k" 8 ] in
+  let reduced =
+    Compute.v ~name:"op2"
+      ~axes:[ Axis.v "i" 8; Axis.v ~kind:Axis.Reduce "k" 8 ]
+      ~inputs:
+        [ { Compute.in_name = "X"; in_shape = [ 8; 8 ]; in_dtype = Dtype.F32 } ]
+      ~out_name:"O"
+      ~body:(Expr.Read (Access.v "X" [ Index.Var "i"; Index.Var "k" ]))
+      ()
+  in
+  check_bool "axis kind is part of the shape key" true
+    (Dnn.Kernel_cache.shape_key spatial <> Dnn.Kernel_cache.shape_key reduced);
+  check_bool "axis kind is part of the family key" true
+    (Dnn.Kernel_cache.family_key spatial
+    <> Dnn.Kernel_cache.family_key reduced);
+  (* Operator names containing '|' and 'x' (the old joiners). *)
+  let weird = mk ~name:"mm|2x3" ~axes:[ Axis.v "i" 4 ] in
+  let plain = mk ~name:"mm" ~axes:[ Axis.v "i" 4 ] in
+  check_bool "name containing '|'/'x' stays distinct" true
+    (Dnn.Kernel_cache.shape_key weird <> Dnn.Kernel_cache.shape_key plain
+    && Dnn.Kernel_cache.family_key weird <> Dnn.Kernel_cache.family_key plain);
+  (* And the cache must treat a collision-prone pair as distinct entries.
+     A real GEMM and its all-spatial twin (same name, same extents, k
+     spatial instead of reduce) shared the old shape key "gemm|64x64x64";
+     compiling the twin after the GEMM must be a construction, never a
+     bogus exact hit. *)
+  let gemm64 = Ops.Op.compute (Ops.Matmul.gemm ~m:64 ~n:64 ~k:64 ()) in
+  let twin =
+    Compute.v
+      ~name:(Compute.name gemm64)
+      ~axes:[ Axis.v "i" 64; Axis.v "j" 64; Axis.v "k" 64 ]
+      ~inputs:
+        [ { Compute.in_name = "A"; in_shape = [ 64; 64 ]; in_dtype = Dtype.F32 };
+          { Compute.in_name = "B"; in_shape = [ 64; 64 ]; in_dtype = Dtype.F32 } ]
+      ~out_name:"C"
+      ~body:
+        (Expr.Mul
+           ( Expr.Read (Access.v "A" [ Index.Var "i"; Index.Var "k" ]),
+             Expr.Read (Access.v "B" [ Index.Var "k"; Index.Var "j" ]) ))
+      ()
+  in
+  check_bool "gemm and its all-spatial twin get distinct keys" true
+    (Dnn.Kernel_cache.shape_key gemm64 <> Dnn.Kernel_cache.shape_key twin);
+  let cache = Dnn.Kernel_cache.create ~hw () in
+  let _, first = Dnn.Kernel_cache.compile cache gemm64 in
+  check_bool "gemm compiles cold" true (first = Dnn.Kernel_cache.Cold_miss);
+  let _, second = Dnn.Kernel_cache.compile cache twin in
+  check_bool "all-spatial twin is not a false hit" true
+    (second <> Dnn.Kernel_cache.Hit);
+  check_int "two distinct entries" 2 (Dnn.Kernel_cache.size cache)
+
+(* ---------- persistent two-tier cache ---------- *)
+
+let small_gemm ~m = Ops.Op.compute (Ops.Matmul.gemm ~m ~n:64 ~k:64 ())
+
+let with_store_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "gensor-test-kcache-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fl -> try Sys.remove (Filename.concat dir fl) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* Two processes sharing one store directory, simulated by two fresh caches:
+   everything process 1 constructed is served to process 2 from disk — exact
+   shapes as hits, new family members as warm starts, zero cold work. *)
+let test_cache_persists_across_processes () =
+  with_store_dir (fun dir ->
+      let run1 =
+        Dnn.Kernel_cache.create ~store:(Artifact.Store.open_ dir) ~hw ()
+      in
+      List.iter
+        (fun m -> ignore (Dnn.Kernel_cache.compile run1 (small_gemm ~m)))
+        [ 256; 320 ];
+      let s1 = Dnn.Kernel_cache.stats run1 in
+      check_int "run 1: one cold" 1 s1.Dnn.Kernel_cache.cold_misses;
+      check_int "run 1: one warm" 1 s1.Dnn.Kernel_cache.warm_misses;
+      check_int "run 1: both written through" 2
+        s1.Dnn.Kernel_cache.store_writes;
+      let run2 =
+        Dnn.Kernel_cache.create ~store:(Artifact.Store.open_ dir) ~hw ()
+      in
+      check_int "run 2 preloads everything run 1 built" 2
+        (Dnn.Kernel_cache.preloaded_count run2);
+      let lookups =
+        List.map
+          (fun m -> snd (Dnn.Kernel_cache.compile run2 (small_gemm ~m)))
+          [ 256; 320; 384 ]
+      in
+      check_bool "known shapes hit, new shape warm" true
+        (lookups
+        = [ Dnn.Kernel_cache.Hit; Dnn.Kernel_cache.Hit;
+            Dnn.Kernel_cache.Warm_miss ]);
+      let s2 = Dnn.Kernel_cache.stats run2 in
+      check_int "run 2: zero cold constructions" 0
+        s2.Dnn.Kernel_cache.cold_misses;
+      check_int "run 2: store hits counted" 2 s2.Dnn.Kernel_cache.store_hits;
+      (* Run 2 wrote the new shape through; a third open sees all three. *)
+      check_int "store accumulates" 3
+        (Artifact.Store.size (Artifact.Store.open_ dir)))
+
+(* A corrupted store degrades to a reported cold miss, never a failure or a
+   silently wrong kernel. *)
+let test_cache_corrupt_store_degrades () =
+  with_store_dir (fun dir ->
+      let run1 =
+        Dnn.Kernel_cache.create ~store:(Artifact.Store.open_ dir) ~hw ()
+      in
+      ignore (Dnn.Kernel_cache.compile run1 (small_gemm ~m:256));
+      (* Truncate every artifact in place. *)
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".gat" then begin
+            let path = Filename.concat dir f in
+            let text =
+              In_channel.with_open_bin path In_channel.input_all
+            in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc
+                  (String.sub text 0 (String.length text / 2)))
+          end)
+        (Sys.readdir dir);
+      let store = Artifact.Store.open_ dir in
+      check_bool "corruption is reported" true
+        (Artifact.Store.issues store <> []);
+      let run2 = Dnn.Kernel_cache.create ~store ~hw () in
+      check_int "nothing preloaded from a corrupt store" 0
+        (Dnn.Kernel_cache.preloaded_count run2);
+      let _, lookup = Dnn.Kernel_cache.compile run2 (small_gemm ~m:256) in
+      check_bool "degrades to a cold construction" true
+        (lookup = Dnn.Kernel_cache.Cold_miss))
+
 let () =
   Alcotest.run "dynamic_system"
     [ ("warm_start",
@@ -110,4 +270,11 @@ let () =
            test_cache_hit_warm_cold;
          Alcotest.test_case "dynamic sequence stream" `Quick
            test_cache_serves_dynamic_sequence;
-         Alcotest.test_case "keys" `Quick test_cache_keys ]) ]
+         Alcotest.test_case "keys" `Quick test_cache_keys;
+         Alcotest.test_case "key injectivity regression" `Quick
+           test_cache_key_injectivity ]);
+      ("persistent_cache",
+       [ Alcotest.test_case "second process runs warm" `Quick
+           test_cache_persists_across_processes;
+         Alcotest.test_case "corrupt store degrades to cold" `Quick
+           test_cache_corrupt_store_degrades ]) ]
