@@ -30,6 +30,22 @@ let resolve_method name =
   | "cublas" -> Ok (Pipeline.Methods.cublas ())
   | other -> Error (`Msg (Fmt.str "unknown method %s" other))
 
+(* Oracle mode: re-analyse every state from scratch instead of deriving its
+   cost-model components incrementally along the construction edge.  The
+   selected schedules are identical either way (the incremental path is
+   bit-for-bit equal, see DESIGN.md section 10); the flag exists for
+   cross-checking and for measuring the speedup. *)
+let no_incremental_arg =
+  let doc =
+    "Disable incremental cost-model evaluation: rebuild every state's \
+     component analysis from scratch (oracle mode; same effect as setting \
+     GENSOR_INCREMENTAL=0)."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let apply_incremental no_incremental =
+  if no_incremental then Costmodel.Delta.set_enabled false
+
 (* ---------- persistent artifact store ---------- *)
 
 let cache_dir_arg =
@@ -64,7 +80,8 @@ let cuda_arg =
   Arg.(value & flag & info [ "cuda" ] ~doc)
 
 let compile_cmd =
-  let run device method_name label emit_cuda cache_dir =
+  let run device method_name label emit_cuda cache_dir no_incremental =
+    apply_incremental no_incremental;
     match
       ( resolve_device device,
         resolve_method method_name,
@@ -128,7 +145,7 @@ let compile_cmd =
     Term.(
       ret
         (const run $ device_arg $ method_arg $ op_arg $ cuda_arg
-       $ cache_dir_arg))
+       $ cache_dir_arg $ no_incremental_arg))
 
 (* ---------- ops ---------- *)
 
@@ -167,7 +184,8 @@ let resolve_model name ~batch =
   | other -> Error (`Msg (Fmt.str "unknown model %s" other))
 
 let model_cmd =
-  let run device method_name model_name batch cache_dir =
+  let run device method_name model_name batch cache_dir no_incremental =
+    apply_incremental no_incremental;
     match
       (resolve_device device, resolve_method method_name,
        resolve_model model_name ~batch)
@@ -192,7 +210,7 @@ let model_cmd =
     Term.(
       ret
         (const run $ device_arg $ method_arg $ model_name_arg $ batch_arg
-       $ cache_dir_arg))
+       $ cache_dir_arg $ no_incremental_arg))
 
 (* ---------- verify ---------- *)
 
@@ -223,7 +241,8 @@ let jobs_arg =
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let verify_cmd =
-  let run device methods_csv op_filter verbose jobs =
+  let run device methods_csv op_filter verbose jobs no_incremental =
+    apply_incremental no_incremental;
     let devices =
       if String.lowercase_ascii device = "all" then Ok Hardware.Presets.all
       else Result.map (fun hw -> [ hw ]) (resolve_device device)
@@ -305,7 +324,7 @@ let verify_cmd =
     Term.(
       ret
         (const run $ verify_device_arg $ verify_methods_arg $ verify_op_arg
-       $ verbose_arg $ jobs_arg))
+       $ verbose_arg $ jobs_arg $ no_incremental_arg))
 
 (* ---------- bench ---------- *)
 
@@ -322,6 +341,8 @@ type bench_row = {
   b_runs : int;
   b_states_s : float option;  (* construction throughput, states/s *)
   b_hit_rate : float option;  (* memo hit rate while the arm ran *)
+  b_prune_rate : float option;
+      (* fraction of pooled candidates dropped by dominance pruning *)
   b_jobs : int;
 }
 
@@ -330,7 +351,13 @@ let memo_snapshot () =
     (fun (h, m) (_, s) -> (h + s.Parallel.Memo.hits, m + s.Parallel.Memo.misses))
     (0, 0) (Parallel.Memo.all_stats ())
 
-let bench_arm ~name ~jobs ~runs ?states f =
+let bench_arm ?(warmup = 0) ~name ~jobs ~runs ?states f =
+  (* Untimed warmup runs: arms measuring a warm steady state (memo caches,
+     allocator) must not fold their cold first run into the average — with
+     --quick's 3 runs that would understate the warm throughput by a third. *)
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
   let h0, m0 = memo_snapshot () in
   let t0 = Unix.gettimeofday () in
   let states_total = ref 0 in
@@ -355,34 +382,120 @@ let bench_arm ~name ~jobs ~runs ?states f =
     | Some r -> Fmt.str "  (%.1f%% memo hits)" (100.0 *. r)
     | None -> "");
   { b_name = name; b_ns = dt *. 1e9; b_runs = runs; b_states_s = states_s;
-    b_hit_rate = hit_rate; b_jobs = jobs }
+    b_hit_rate = hit_rate; b_prune_rate = None; b_jobs = jobs }
 
-let bench_json rows ~jobs ~speedup =
+let bench_json rows ~jobs ~speedup ~speedup_incremental =
   let buf = Buffer.create 1024 in
   let field_opt = function
     | None -> "null"
     | Some v -> Fmt.str "%.3f" v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/2\",\n";
   Buffer.add_string buf (Fmt.str "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf
     (Fmt.str "  \"cpus\": %d,\n" (Domain.recommended_domain_count ()));
   Buffer.add_string buf
     (Fmt.str "  \"speedup_gensor_vs_seq\": %.3f,\n" speedup);
+  Buffer.add_string buf
+    (Fmt.str "  \"speedup_incremental_vs_full\": %s,\n"
+       (field_opt speedup_incremental));
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->
       Buffer.add_string buf
         (Fmt.str
            "    { \"name\": %S, \"ns_per_run\": %.1f, \"runs\": %d, \
-            \"states_per_s\": %s, \"cache_hit_rate\": %s, \"jobs\": %d }%s\n"
+            \"states_per_s\": %s, \"cache_hit_rate\": %s, \
+            \"prune_rate\": %s, \"jobs\": %d }%s\n"
            r.b_name r.b_ns r.b_runs (field_opt r.b_states_s)
-           (field_opt r.b_hit_rate) r.b_jobs
+           (field_opt r.b_hit_rate) (field_opt r.b_prune_rate) r.b_jobs
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
+
+(* ---------- baseline regression check ---------- *)
+
+(* Reads back the JSON that [bench_json] writes.  The format is the tool's
+   own line-oriented output, so a full JSON parser would be overkill (and
+   would be the repo's only external-parser dependency): each benchmark
+   object lives on one line, keys are unambiguous, and we only need
+   [name] and [states_per_s]. *)
+let baseline_states_per_s file =
+  let find_sub line pat =
+    let n = String.length line and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub line i m = pat then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let string_field line key =
+    Option.bind (find_sub line (Fmt.str "\"%s\": \"" key)) (fun start ->
+        Option.map
+          (fun stop -> String.sub line start (stop - start))
+          (String.index_from_opt line start '"'))
+  in
+  let float_field line key =
+    Option.bind (find_sub line (Fmt.str "\"%s\": " key)) (fun start ->
+        let stop = ref start in
+        let n = String.length line in
+        while
+          !stop < n
+          && (match line.[!stop] with
+             | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+             | _ -> false)
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.sub line start (!stop - start)))
+  in
+  let ic = open_in file in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (string_field line "name", float_field line "states_per_s") with
+       | Some name, Some v -> rows := (name, v) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+(* CI perf-smoke guard: every construction arm present in both this run and
+   the committed baseline must stay within [tolerance] of the recorded
+   states/s.  Arms the baseline does not know (or that record no
+   throughput) are skipped, so adding arms never breaks an old baseline. *)
+let check_against_baseline ?(tolerance = 0.30) rows file =
+  match
+    try Ok (baseline_states_per_s file) with Sys_error m -> Error m
+  with
+  | Error m -> Error (Fmt.str "cannot read baseline: %s" m)
+  | Ok baseline ->
+  let failures = ref [] in
+  List.iter
+    (fun r ->
+      match (r.b_states_s, List.assoc_opt r.b_name baseline) with
+      | Some now, Some base when base > 0.0 ->
+        let floor = (1.0 -. tolerance) *. base in
+        let verdict = if now < floor then "REGRESSED" else "ok" in
+        if now < floor then failures := r.b_name :: !failures;
+        Fmt.pr "check %-28s %10.0f states/s vs baseline %10.0f (floor %.0f): %s@."
+          r.b_name now base floor verdict
+      | _ -> ())
+    rows;
+  match List.rev !failures with
+  | [] ->
+    Fmt.pr "check: no construction arm regressed more than %.0f%%@."
+      (100.0 *. tolerance);
+    Ok ()
+  | names ->
+    Error
+      (Fmt.str "states/s regressed more than %.0f%% vs %s: %s"
+         (100.0 *. tolerance) file (String.concat ", " names))
 
 let bench_json_arg =
   let doc = "Write the results as JSON to $(docv)." in
@@ -392,8 +505,17 @@ let bench_quick_arg =
   let doc = "Fewer repetitions (CI smoke mode)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let bench_check_arg =
+  let doc =
+    "Compare this run against the committed baseline JSON $(docv) and fail \
+     when any construction arm's states/s regresses by more than 30%."
+  in
+  Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE" ~doc)
+
 let bench_cmd =
-  let run json_file quick jobs cache_dir =
+  let run json_file quick jobs cache_dir no_incremental check_file =
+    apply_incremental no_incremental;
+    let incremental = Costmodel.Delta.enabled () in
     let hw = Hardware.Presets.rtx4090 in
     let gemm = Ops.Op.compute (Ops.Matmul.gemm ~m:1024 ~n:1024 ~k:1024 ()) in
     let jobs =
@@ -406,30 +528,71 @@ let bench_cmd =
     in
     let rows = ref [] in
     let arm row = rows := row :: !rows in
+    (* Prune-rate bookkeeping: the gensor arms accumulate how many pooled
+       candidates the dominance sweep dropped vs how many survived to the
+       full-model pass. *)
+    let with_prune_rate f =
+      let pruned = ref 0 and evaluated = ref 0 in
+      let row =
+        f (fun (r : Gensor.Optimizer.result) ->
+            pruned := !pruned + r.Gensor.Optimizer.candidates_pruned;
+            evaluated := !evaluated + r.Gensor.Optimizer.candidates_evaluated)
+      in
+      let pooled = !pruned + !evaluated in
+      { row with
+        b_prune_rate =
+          (if pooled = 0 then None
+           else Some (float_of_int !pruned /. float_of_int pooled)) }
+    in
     arm
       (bench_arm ~name:"roller-gemm1024" ~jobs:1 ~runs (fun () ->
            ignore (Roller.construct ~hw gemm);
            0));
-    (* Sequential, uncached: the pre-parallel-runtime code path. *)
+    (* Sequential, uncached, full re-evaluation at every state: the oracle
+       code path (--no-incremental).  The gap to the next arm is the
+       incremental-evaluation win alone. *)
     Parallel.Memo.set_enabled false;
     Parallel.Memo.clear_all ();
+    Costmodel.Delta.set_enabled false;
+    let seq_full =
+      with_prune_rate (fun record ->
+          bench_arm ~warmup:1 ~name:"gensor-gemm1024-seq-full" ~jobs:1 ~runs
+            ~states:()
+            (fun () ->
+              let r =
+                Gensor.Optimizer.optimize ~config:quick_gensor ~jobs:1 ~hw gemm
+              in
+              record r;
+              r.Gensor.Optimizer.states_explored))
+    in
+    arm seq_full;
+    Costmodel.Delta.set_enabled incremental;
+    (* Sequential, uncached, incremental components: the pre-parallel-runtime
+       code path with per-edge component reuse. *)
     let seq =
-      bench_arm ~name:"gensor-gemm1024-seq" ~jobs:1 ~runs ~states:() (fun () ->
-          let r =
-            Gensor.Optimizer.optimize ~config:quick_gensor ~jobs:1 ~hw gemm
-          in
-          r.Gensor.Optimizer.states_explored)
+      with_prune_rate (fun record ->
+          bench_arm ~warmup:1 ~name:"gensor-gemm1024-seq" ~jobs:1 ~runs
+            ~states:()
+            (fun () ->
+              let r =
+                Gensor.Optimizer.optimize ~config:quick_gensor ~jobs:1 ~hw gemm
+              in
+              record r;
+              r.Gensor.Optimizer.states_explored))
     in
     arm seq;
     (* Parallel + memoised: the shipped configuration. *)
     Parallel.Memo.set_enabled true;
     Parallel.Memo.clear_all ();
     let par =
-      bench_arm ~name:"gensor-gemm1024" ~jobs ~runs ~states:() (fun () ->
-          let r =
-            Gensor.Optimizer.optimize ~config:quick_gensor ~jobs ~hw gemm
-          in
-          r.Gensor.Optimizer.states_explored)
+      with_prune_rate (fun record ->
+          bench_arm ~warmup:1 ~name:"gensor-gemm1024" ~jobs ~runs ~states:()
+            (fun () ->
+              let r =
+                Gensor.Optimizer.optimize ~config:quick_gensor ~jobs ~hw gemm
+              in
+              record r;
+              r.Gensor.Optimizer.states_explored))
     in
     arm par;
     arm
@@ -486,28 +649,50 @@ let bench_cmd =
              0)));
     let rows = List.rev !rows in
     let speedup = seq.b_ns /. par.b_ns in
+    (* states/s is the honest incremental-vs-full metric: both arms run the
+       same chains, but the full arm may stop on the wall-clock budget with
+       fewer states explored, which flatters its ns/run. *)
+    let speedup_incremental =
+      match (seq.b_states_s, seq_full.b_states_s) with
+      | Some inc, Some full when full > 0.0 && incremental ->
+        Some (inc /. full)
+      | _ -> None
+    in
     Fmt.pr "@.gensor-gemm1024: %.2fx vs sequential uncached (%d jobs, %d cpus)@."
       speedup jobs
       (Domain.recommended_domain_count ());
+    (match speedup_incremental with
+    | Some s ->
+      Fmt.pr "incremental evaluation: %.2fx states/s vs full re-evaluation@." s
+    | None -> ());
+    (match par.b_prune_rate with
+    | Some r -> Fmt.pr "dominance pruning: %.1f%% of pooled candidates@." (100.0 *. r)
+    | None -> ());
     Fmt.pr "%a@." Pipeline.Methods.pp_cache_stats ();
     (match json_file with
     | None -> ()
     | Some file ->
       let oc = open_out file in
-      output_string oc (bench_json rows ~jobs ~speedup);
+      output_string oc (bench_json rows ~jobs ~speedup ~speedup_incremental);
       close_out oc;
       Fmt.pr "wrote %s@." file);
-    `Ok ()
+    match check_file with
+    | None -> `Ok ()
+    | Some file -> (
+      match check_against_baseline rows file with
+      | Ok () -> `Ok ()
+      | Error m -> `Error (false, m))
   in
   let doc =
-    "Micro-benchmark the optimisers (compile-time wall clock) and \
-     optionally write the results as JSON."
+    "Micro-benchmark the optimisers (compile-time wall clock), optionally \
+     write the results as JSON, and optionally guard against throughput \
+     regressions with $(b,--check)."
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       ret
         (const run $ bench_json_arg $ bench_quick_arg $ jobs_arg
-       $ cache_dir_arg))
+       $ cache_dir_arg $ no_incremental_arg $ bench_check_arg))
 
 (* ---------- cache ---------- *)
 
@@ -566,9 +751,15 @@ let cache_stats_cmd =
           List.iter
             (fun i -> Fmt.pr "  %a@." Artifact.Store.pp_issue i)
             issues);
+        (* In-process counters: the memo caches and the incremental
+           component-evaluation stats for whatever this invocation ran. *)
+        Fmt.pr "%a@." Pipeline.Methods.pp_cache_stats ();
         `Ok ())
   in
-  let doc = "Show entry count, on-disk size and skipped files." in
+  let doc =
+    "Show entry count, on-disk size, skipped files and in-process cache \
+     counters."
+  in
   Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ cache_dir_arg))
 
 let cache_purge_cmd =

@@ -47,17 +47,21 @@ let run ~hw ~rng ?(config = default_config) etir0 =
     if not (Hashtbl.mem top key) then Hashtbl.add top key etir
   in
   (* [level_entry] is the iteration at which the chain entered the current
-     memory level; the cache multiplier's clock restarts there. *)
-  let rec loop etir temperature ~iteration ~level_entry ~moved =
+     memory level; the cache multiplier's clock restarts there.  [comps] is
+     the current state's cost-model component record, carried edge to edge
+     so each policy step starts from a ready-made before-state analysis
+     (the incremental engine's steady state — no memo lookup needed). *)
+  let rec loop etir comps temperature ~iteration ~level_entry ~moved =
     if temperature <= config.threshold then (etir, iteration, moved)
     else begin
       let level_age = iteration - level_entry in
       let choices =
-        Policy.transitions ~hw ~mode:config.mode ~iteration:level_age etir
+        Policy.transitions ~comps ~hw ~mode:config.mode ~iteration:level_age
+          etir
       in
-      let etir', level_entry', moved' =
+      let etir', comps', level_entry', moved' =
         match Policy.select rng choices with
-        | None -> (etir, level_entry, moved)
+        | None -> (etir, comps, level_entry, moved)
         | Some choice ->
           if Rng.float rng < append_probability ~temperature then
             consider choice.Policy.next;
@@ -67,14 +71,16 @@ let run ~hw ~rng ?(config = default_config) etir0 =
             | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ ->
               level_entry
           in
-          (choice.Policy.next, entry, moved + 1)
+          (choice.Policy.next, choice.Policy.next_comps, entry, moved + 1)
       in
-      loop etir' (temperature /. 2.0) ~iteration:(iteration + 1)
+      loop etir' comps' (temperature /. 2.0) ~iteration:(iteration + 1)
         ~level_entry:level_entry' ~moved:moved'
     end
   in
   let final, steps, transitions_taken =
-    loop etir0 config.t0 ~iteration:0 ~level_entry:0 ~moved:0
+    loop etir0
+      (Costmodel.Delta.of_etir ~hw etir0)
+      config.t0 ~iteration:0 ~level_entry:0 ~moved:0
   in
   consider final;
   let top_results =

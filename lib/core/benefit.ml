@@ -30,9 +30,11 @@ let footprint_exponent = 0.25
 let traffic_exponent = 3.0
 let ilp_overhead = 8.0
 
-let ilp_eff etir =
-  let chunk = float_of_int (Costmodel.Model.thread_chunk_flops etir) in
+let ilp_eff_of_chunk chunk =
+  let chunk = float_of_int chunk in
   chunk /. (chunk +. ilp_overhead)
+
+let ilp_eff etir = ilp_eff_of_chunk (Costmodel.Model.thread_chunk_flops etir)
 
 let ilp_ratio ~before ~after = ilp_eff after /. ilp_eff before
 
@@ -109,6 +111,44 @@ let context ~hw before =
     ctx_caching = lazy (caching ~hw before);
   }
 
+(* The same hoisted context built from an already-derived component record
+   (incremental evaluation, DESIGN.md §10): every analysis the lazies would
+   run is a field read.  The component builders are the very functions the
+   eager analyses above call, so benefits computed through either
+   constructor are bit-for-bit equal. *)
+let occ_floor_comps (comps : Costmodel.Delta.components) =
+  Float.max 0.02 comps.Costmodel.Delta.occ.Costmodel.Occupancy.sm_occupancy
+
+let caching_comps ~(hw : Hardware.Gpu_spec.t) etir
+    (comps : Costmodel.Delta.components) =
+  let cur = Etir.cur_level etir in
+  if cur <= 0 then 0.0
+  else begin
+    let s_data = max comps.Costmodel.Delta.footprint.(cur - 1) 1 in
+    let low = Hardware.Gpu_spec.level hw (cur + 1) in
+    let high = Hardware.Gpu_spec.level hw cur in
+    let clock = Hardware.Gpu_spec.clock_ghz hw in
+    let t_low = Hardware.Mem_level.transfer_seconds low ~clock_ghz:clock ~bytes:s_data in
+    let t_high = Hardware.Mem_level.transfer_seconds high ~clock_ghz:clock ~bytes:s_data in
+    if t_high <= 0.0 then 0.0 else t_low /. t_high
+  end
+
+let context_of ~hw before (comps : Costmodel.Delta.components) =
+  let levels = Etir.num_levels before + 1 in
+  {
+    ctx_hw = hw;
+    ctx_before = before;
+    ctx_traffic =
+      Array.init levels (fun level ->
+          lazy comps.Costmodel.Delta.traffic.(level));
+    ctx_footprint =
+      Array.init levels (fun level ->
+          lazy comps.Costmodel.Delta.footprint.(level));
+    ctx_occ = lazy (occ_floor_comps comps);
+    ctx_ilp_eff = lazy (ilp_eff_of_chunk comps.Costmodel.Delta.chunk_flops);
+    ctx_caching = lazy (caching_comps ~hw before comps);
+  }
+
 let tiling_ctx ctx ~after ~level =
   let q = Lazy.force ctx.ctx_traffic.(level) in
   let q' = Costmodel.Traffic.bytes_into after ~level in
@@ -128,6 +168,27 @@ let tiling_ctx ctx ~after ~level =
 
 let tiling ~hw ~before ~after ~level =
   tiling_ctx (context ~hw before) ~after ~level
+
+(* [tiling_ctx] with the after-state analyses read from its component
+   record — the record's fresh levels are exactly the ones a tiling action
+   at [level] touches, so .(level) is always up to date. *)
+let tiling_comps ctx ~(after_comps : Costmodel.Delta.components) ~level =
+  let q = Lazy.force ctx.ctx_traffic.(level) in
+  let q' = after_comps.Costmodel.Delta.traffic.(level) in
+  let f = float_of_int (Lazy.force ctx.ctx_footprint.(level)) in
+  let f' = float_of_int after_comps.Costmodel.Delta.footprint.(level) in
+  if q' <= 0.0 || f <= 0.0 || f' <= 0.0 then 0.0
+  else begin
+    let traffic_gain = Float.pow (q /. q') traffic_exponent in
+    let footprint_cost = Float.pow (f' /. f) footprint_exponent in
+    let base = traffic_gain /. footprint_cost in
+    let base = base *. (occ_floor_comps after_comps /. Lazy.force ctx.ctx_occ) in
+    if level = 0 then
+      base
+      *. (ilp_eff_of_chunk after_comps.Costmodel.Delta.chunk_flops
+         /. Lazy.force ctx.ctx_ilp_eff)
+    else base
+  end
 
 (* Benefit of one legal transition [before --action--> after].  Zero when the
    successor violates a cache capacity (the paper's memory check).  Launch
@@ -153,3 +214,22 @@ let of_action_ctx ctx ~after (action : Action.t) =
 
 let of_action ~hw ~before ~after action =
   of_action_ctx (context ~hw before) ~after action
+
+(* [of_action_ctx] with the after-state analyses (memory check included)
+   read from the successor's component record instead of recomputed. *)
+let of_action_comps ctx ~after ~(after_comps : Costmodel.Delta.components)
+    (action : Action.t) =
+  if
+    not
+      (Costmodel.Mem_check.ok_capacity_fp ~hw:ctx.ctx_hw
+         after_comps.Costmodel.Delta.footprint)
+  then 0.0
+  else
+    match action with
+    | Action.Tile { level; _ } | Action.Rtile { level; _ } ->
+      tiling_comps ctx ~after_comps ~level
+    | Action.Cache ->
+      let ratio = Lazy.force ctx.ctx_caching in
+      ratio /. (1.0 +. ratio)
+    | Action.Set_vthread { dim; _ } ->
+      vthread ~hw:ctx.ctx_hw ~before:ctx.ctx_before ~after ~dim

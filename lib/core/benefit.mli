@@ -44,6 +44,15 @@ type ctx
 
 val context : hw:Hardware.Gpu_spec.t -> Sched.Etir.t -> ctx
 
+(** {!context} built from an already-derived component record (incremental
+    evaluation): no analysis runs, every field is read from the record.
+    Benefits computed through either constructor are bit-for-bit equal. *)
+val context_of :
+  hw:Hardware.Gpu_spec.t ->
+  Sched.Etir.t ->
+  Costmodel.Delta.components ->
+  ctx
+
 (** Benefit of a legal transition; 0 when the successor fails the memory
     check (paper §IV-C). *)
 val of_action :
@@ -56,3 +65,13 @@ val of_action :
 (** [of_action] against a prebuilt before-state context — identical result,
     without recomputing the before-state analyses per successor. *)
 val of_action_ctx : ctx -> after:Sched.Etir.t -> Sched.Action.t -> float
+
+(** [of_action_ctx] with the after-state analyses (memory check included)
+    read from the successor's component record — identical result with no
+    per-successor recomputation on either side of the edge. *)
+val of_action_comps :
+  ctx ->
+  after:Sched.Etir.t ->
+  after_comps:Costmodel.Delta.components ->
+  Sched.Action.t ->
+  float

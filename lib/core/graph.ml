@@ -10,13 +10,15 @@ type t = {
   states : Etir.t array;
   index_of : (string, int) Hashtbl.t;
   edges : (int * Action.t * int) list;  (* (from, action, to) *)
+  pruned : int;  (* states recorded but not expanded (dominance pruning) *)
 }
 
-let explore ?(max_states = 2000) ?(max_depth = max_int) seed_state =
+let explore ?(max_states = 2000) ?(max_depth = max_int) ?prune_hw seed_state =
   let index_of = Hashtbl.create 256 in
   let states = ref [] in
   let edges = ref [] in
   let count = ref 0 in
+  let pruned = ref 0 in
   let intern etir =
     let key = Etir.signature etir in
     match Hashtbl.find_opt index_of key with
@@ -28,8 +30,37 @@ let explore ?(max_states = 2000) ?(max_depth = max_int) seed_state =
       states := etir :: !states;
       (idx, true)
   in
+  (* Dominance pruning (DESIGN.md §10): a fresh state pointwise no better
+     than a state already enqueued at the same depth is recorded — it stays
+     visible to [best] and the edge list — but not expanded.  Launch-
+     infeasible states have no vector and are always expanded: construction
+     passes through them transiently. *)
+  let depth_vecs : (int, float array list) Hashtbl.t = Hashtbl.create 16 in
+  let keep_for_expansion depth etir =
+    match prune_hw with
+    | None -> true
+    | Some hw ->
+      (match
+         Costmodel.Delta.dominance_vector ~hw (Costmodel.Delta.of_etir ~hw etir)
+       with
+      | None -> true
+      | Some vec ->
+        let siblings =
+          Option.value ~default:[] (Hashtbl.find_opt depth_vecs depth)
+        in
+        if List.exists (fun v -> Costmodel.Delta.dominates v vec) siblings
+        then begin
+          incr pruned;
+          false
+        end
+        else begin
+          Hashtbl.replace depth_vecs depth (vec :: siblings);
+          true
+        end)
+  in
   let queue = Queue.create () in
   let seed_idx, _ = intern seed_state in
+  ignore (keep_for_expansion 0 seed_state);
   Queue.add (seed_idx, seed_state, 0) queue;
   while not (Queue.is_empty queue) do
     let idx, etir, depth = Queue.pop queue in
@@ -39,31 +70,43 @@ let explore ?(max_states = 2000) ?(max_depth = max_int) seed_state =
           if !count < max_states then begin
             let next_idx, fresh = intern next in
             edges := (idx, action, next_idx) :: !edges;
-            if fresh then Queue.add (next_idx, next, depth + 1) queue
+            if fresh && keep_for_expansion (depth + 1) next then
+              Queue.add (next_idx, next, depth + 1) queue
           end)
         (Action.successors etir)
   done;
   { states = Array.of_list (List.rev !states); index_of;
-    edges = List.rev !edges }
+    edges = List.rev !edges; pruned = !pruned }
 
 let size t = Array.length t.states
 let edges t = t.edges
 let state t idx = t.states.(idx)
+let pruned_states t = t.pruned
 
 let index t etir = Hashtbl.find_opt t.index_of (Etir.signature etir)
 
-(* Best state in the explored region under the performance model. *)
+(* Best state in the explored region under the performance model.  Score
+   ties break toward the smallest signature, so the result is a canonical
+   representative independent of discovery order (and hence of dominance
+   pruning, which may change which of several exactly-tied states gets
+   recorded first). *)
 let best ~hw ?knobs t =
   let best = ref None in
   Array.iter
     (fun etir ->
       if Costmodel.Mem_check.ok etir ~hw then begin
         let metrics = Costmodel.Model.evaluate ?knobs ~hw etir in
-        match !best with
-        | Some (_, m) when Costmodel.Metrics.score m >= Costmodel.Metrics.score metrics
-          ->
-          ()
-        | Some _ | None -> best := Some (etir, metrics)
+        let better =
+          match !best with
+          | None -> true
+          | Some (be, m) ->
+            let c =
+              compare (Costmodel.Metrics.score metrics)
+                (Costmodel.Metrics.score m)
+            in
+            c > 0 || (c = 0 && Etir.signature etir < Etir.signature be)
+        in
+        if better then best := Some (etir, metrics)
       end)
     t.states;
   !best

@@ -2,11 +2,26 @@
 
 type t
 
-val explore : ?max_states:int -> ?max_depth:int -> Sched.Etir.t -> t
+(** [explore ?prune_hw seed] bounds the BFS; with [prune_hw] set, a fresh
+    state whose dominance vector (see {!Costmodel.Delta.dominance_vector})
+    is strictly dominated by a state already enqueued at the same depth is
+    recorded — visible to {!best}, {!state} and the edge list — but not
+    expanded.  Launch-infeasible states are never pruned. *)
+val explore :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?prune_hw:Hardware.Gpu_spec.t ->
+  Sched.Etir.t ->
+  t
+
 val size : t -> int
 val edges : t -> (int * Sched.Action.t * int) list
 val state : t -> int -> Sched.Etir.t
 val index : t -> Sched.Etir.t -> int option
+
+(** States recorded but not expanded by dominance pruning (0 without
+    [prune_hw]). *)
+val pruned_states : t -> int
 
 (** Best launchable state in the explored region under the model. *)
 val best :

@@ -15,6 +15,9 @@ type config = {
   restarts : int;            (* independent chains *)
   anneal : Anneal.config;
   knobs : Costmodel.Model.knobs;
+  prune_dominated : bool;
+      (* drop pooled candidates strictly dominated by a sibling before the
+         final full-model evaluation *)
 }
 
 let default_config = {
@@ -22,6 +25,7 @@ let default_config = {
   restarts = 12;
   anneal = Anneal.default_config;
   knobs = Costmodel.Model.default_knobs;
+  prune_dominated = true;
 }
 
 (* Table VI ablation variants. *)
@@ -41,6 +45,7 @@ type result = {
   metrics : Costmodel.Metrics.t;
   states_explored : int;      (* policy steps across all chains *)
   candidates_evaluated : int; (* states scored by the full model at the end *)
+  candidates_pruned : int;    (* pooled states dropped by dominance pruning *)
   wall_time_s : float;
 }
 
@@ -125,33 +130,113 @@ let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
   let states_explored =
     List.fold_left (fun acc o -> acc + o.Anneal.steps) 0 outcomes
   in
-  (* Pool and deduplicate every sampled state; keep only launchable ones.
-     Deduplication is by evaluation fingerprint (collision-checked), so
-     states differing only in the construction cursor — which evaluate
-     identically — occupy one slot and are scored once.  Insertion order
-     over the (ordered) outcome list fixes the pool order deterministically. *)
+  (* Pool and deduplicate every sampled state.  Deduplication is by
+     evaluation fingerprint (collision-checked), so states differing only in
+     the construction cursor — which evaluate identically — occupy one slot
+     and are analysed once.  Insertion order over the (ordered) outcome list
+     fixes the pool order deterministically.  Legality is NOT checked here:
+     it falls out of the per-candidate component build below, one analysis
+     per unique state instead of one per sampled state. *)
   let pool : (int64, Etir.t list) Hashtbl.t = Hashtbl.create 256 in
   let pool_order = ref [] in
   let consider etir =
-    if Costmodel.Mem_check.ok etir ~hw then begin
-      let fp = Etir.fingerprint etir in
-      let bucket = Option.value ~default:[] (Hashtbl.find_opt pool fp) in
-      if not (List.exists (Etir.eval_equal etir) bucket) then begin
-        Hashtbl.replace pool fp (etir :: bucket);
-        pool_order := etir :: !pool_order
-      end
+    let fp = Etir.fingerprint etir in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt pool fp) in
+    if not (List.exists (Etir.eval_equal etir) bucket) then begin
+      Hashtbl.replace pool fp (etir :: bucket);
+      pool_order := etir :: !pool_order
     end
   in
   List.iter
     (fun outcome -> List.iter consider outcome.Anneal.top_results)
     outcomes;
+  (* One component build per unique candidate, shared by the launchability
+     filter, the dominance pruning and the final scoring.  Launchability is
+     a property of the evaluation class, so filtering after deduplication
+     keeps exactly the states the old filter-first pipeline kept, in the
+     same order. *)
+  let launchable =
+    List.filter_map
+      (fun etir ->
+        let comps = Costmodel.Delta.of_etir ~hw etir in
+        if
+          Costmodel.Mem_check.ok_fp etir ~hw
+            ~footprints:comps.Costmodel.Delta.footprint
+        then Some (etir, comps)
+        else None)
+      (List.rev !pool_order)
+  in
   let candidates =
-    match List.rev !pool_order with [] -> [ initial ] | states -> states
+    match launchable with
+    | [] -> [ (initial, Costmodel.Delta.of_etir ~hw initial) ]
+    | states -> states
+  in
+  (* Dominance pruning of the pooled frontier (DESIGN.md §10): a candidate
+     pointwise no better than a sibling cannot out-score it under the
+     monotone aggregation, so it is dropped before the full-model pass.
+     The O(n²) sweep is sequential and order-independent (a state is kept
+     unless *some* sibling strictly dominates it), so the surviving set —
+     and hence the selected schedule — does not depend on [jobs]. *)
+  let candidates, candidates_pruned =
+    if not config.prune_dominated then (candidates, 0)
+    else begin
+      (* Skyline sweep instead of the naive all-pairs scan.  Components are
+         lower-better, so a dominator's component sum is strictly smaller
+         than its victim's; processing in ascending-sum order guarantees
+         every candidate's dominators are classified before it, and by
+         transitivity being dominated at all implies being dominated by a
+         *maximal* element — so each candidate only needs checking against
+         the non-dominated set built so far.  The kept set is exactly the
+         all-pairs one (and hence still order- and jobs-invariant); only
+         the comparison count changes. *)
+      let arr = Array.of_list candidates in
+      let n = Array.length arr in
+      let vecs =
+        Array.map
+          (fun (_, comps) -> Costmodel.Delta.dominance_vector ~hw comps)
+          arr
+      in
+      let sum v = Array.fold_left ( +. ) 0.0 v in
+      let order =
+        let idx = Array.init n (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            match (vecs.(a), vecs.(b)) with
+            | Some va, Some vb -> compare (sum va) (sum vb)
+            | Some _, None -> -1
+            | None, Some _ -> 1
+            | None, None -> compare a b)
+          idx;
+        idx
+      in
+      let kept = Array.make n true in
+      let skyline = ref [] in
+      Array.iter
+        (fun i ->
+          match vecs.(i) with
+          | None -> ()  (* launch-infeasible leftovers carry no vector *)
+          | Some v ->
+            if
+              List.exists
+                (fun j ->
+                  match vecs.(j) with
+                  | Some o -> Costmodel.Delta.dominates o v
+                  | None -> false)
+                !skyline
+            then kept.(i) <- false
+            else skyline := i :: !skyline)
+        order;
+      let survivors = ref [] in
+      for i = n - 1 downto 0 do
+        if kept.(i) then survivors := arr.(i) :: !survivors
+      done;
+      (!survivors, n - List.length !survivors)
+    end
   in
   let scored =
     Parallel.Pool.map_auto ~jobs
-      (fun etir ->
-        (etir, Costmodel.Model.evaluate_cached ~knobs:config.knobs ~hw etir))
+      (fun (etir, comps) ->
+        (etir, Costmodel.Model.evaluate_with ~knobs:config.knobs ~hw etir comps))
       candidates
   in
   let evaluated = ref (List.length scored) in
@@ -200,4 +285,5 @@ let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
   { etir; metrics;
     states_explored;
     candidates_evaluated = !evaluated;
+    candidates_pruned;
     wall_time_s = Unix.gettimeofday () -. start }

@@ -9,6 +9,10 @@ type config = {
   restarts : int;
   anneal : Anneal.config;
   knobs : Costmodel.Model.knobs;
+  prune_dominated : bool;
+      (** drop pooled candidates strictly dominated by a sibling (see
+          {!Costmodel.Delta.dominates}) before the final full-model pass;
+          deterministic and jobs-invariant *)
 }
 
 val default_config : config
@@ -24,6 +28,8 @@ type result = {
   metrics : Costmodel.Metrics.t;
   states_explored : int;
   candidates_evaluated : int;
+  candidates_pruned : int;
+      (** pooled states dropped by dominance pruning before evaluation *)
   wall_time_s : float;
 }
 

@@ -13,7 +13,16 @@
 
 open Sched
 
-type choice = { action : Action.t; next : Etir.t; probability : float }
+type choice = {
+  action : Action.t;
+  next : Etir.t;
+  next_comps : Costmodel.Delta.components;
+      (* the successor's cost-model components, derived incrementally along
+         the edge — the annealing loop carries them so the next policy step
+         starts from a ready-made before-state analysis even with the memo
+         cache disabled *)
+  probability : float;
+}
 
 let stay_probability = 0.02
 
@@ -69,7 +78,10 @@ type base_key = {
   k_mode : mode;
 }
 
-let base_memo : (base_key, (Action.t * Etir.t * float) list) Parallel.Memo.t =
+let base_memo :
+    ( base_key,
+      (Action.t * Etir.t * Costmodel.Delta.components * float) list )
+    Parallel.Memo.t =
   Parallel.Memo.create ~name:"transitions" ~capacity:8192
     ~hash:(fun k ->
       (Int64.to_int (Etir.fingerprint k.k_etir)
@@ -83,29 +95,46 @@ let base_memo : (base_key, (Action.t * Etir.t * float) list) Parallel.Memo.t =
       && (a.k_hw == b.k_hw || a.k_hw = b.k_hw))
     ()
 
-let base_weighted ~hw ~mode etir =
+let base_weighted ?comps ~hw ~mode etir =
   Parallel.Memo.find_or_add base_memo
     { k_etir = etir; k_hw = hw; k_mode = mode }
     (fun () ->
       (* One hoisted analysis context for the whole successor set — the
-         before-state traffic/footprint/occupancy is identical across
-         them. *)
-      let ctx = Benefit.context ~hw etir in
+         before-state traffic/footprint/occupancy is identical across them.
+         When the caller carries the before state's components (the anneal
+         loop threads them edge by edge), the context is a set of field
+         reads; otherwise they are rebuilt once here. *)
+      let before_comps =
+        match comps with
+        | Some c -> c
+        | None -> Costmodel.Delta.of_etir ~hw etir
+      in
+      let ctx = Benefit.context_of ~hw etir before_comps in
       List.filter_map
         (fun (action, next) ->
           if not (allowed mode action) then None
           else begin
-            let benefit = Benefit.of_action_ctx ctx ~after:next action in
-            if benefit <= 0.0 then None else Some (action, next, benefit)
+            (* Components travel along the edge: only the slices [action]
+               invalidates are recomputed for the successor. *)
+            let next_comps =
+              Costmodel.Delta.child ~hw ~before:etir ~parent:before_comps
+                ~action next
+            in
+            let benefit =
+              Benefit.of_action_comps ctx ~after:next ~after_comps:next_comps
+                action
+            in
+            if benefit <= 0.0 then None
+            else Some (action, next, next_comps, benefit)
           end)
         (Action.successors etir))
 
 (* All legal, positively-weighted transitions with normalised
    probabilities.  The normalisation leaves room for [stay_probability]. *)
-let transitions ~hw ~mode ~iteration etir =
+let transitions ?comps ~hw ~mode ~iteration etir =
   let weighted =
     List.map
-      (fun (action, next, benefit) ->
+      (fun (action, next, next_comps, benefit) ->
         let benefit =
           match action with
           | Action.Cache ->
@@ -113,16 +142,18 @@ let transitions ~hw ~mode ~iteration etir =
             *. cache_multiplier ~midpoint:mode.cache_midpoint ~iteration ()
           | Action.Tile _ | Action.Rtile _ | Action.Set_vthread _ -> benefit
         in
-        (action, next, benefit))
-      (base_weighted ~hw ~mode etir)
+        (action, next, next_comps, benefit))
+      (base_weighted ?comps ~hw ~mode etir)
   in
-  let total = List.fold_left (fun acc (_, _, b) -> acc +. b) 0.0 weighted in
+  let total =
+    List.fold_left (fun acc (_, _, _, b) -> acc +. b) 0.0 weighted
+  in
   if total <= 0.0 then []
   else
     let scale = (1.0 -. stay_probability) /. total in
     List.map
-      (fun (action, next, benefit) ->
-        { action; next; probability = benefit *. scale })
+      (fun (action, next, next_comps, benefit) ->
+        { action; next; next_comps; probability = benefit *. scale })
       weighted
 
 (* Roulette selection over the transition distribution; [None] means the

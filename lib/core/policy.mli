@@ -7,6 +7,9 @@
 type choice = {
   action : Sched.Action.t;
   next : Sched.Etir.t;
+  next_comps : Costmodel.Delta.components;
+      (** the successor's cost-model components, derived incrementally along
+          the edge; carry them into the next policy step via [?comps] *)
   probability : float;
 }
 
@@ -29,8 +32,12 @@ val graph_mode : mode
 val allowed : mode -> Sched.Action.t -> bool
 
 (** Legal positively-weighted transitions with normalised probabilities
-    (summing to [1 - stay_probability]); empty when no action is legal. *)
+    (summing to [1 - stay_probability]); empty when no action is legal.
+    [?comps] is the state's own component record when the caller already
+    holds one (the anneal loop does): benefits are then computed without
+    re-analysing the before state.  Results are identical either way. *)
 val transitions :
+  ?comps:Costmodel.Delta.components ->
   hw:Hardware.Gpu_spec.t ->
   mode:mode ->
   iteration:int ->

@@ -69,6 +69,29 @@ let ok etir ~hw = check etir ~hw = []
 let ok_capacity etir ~hw =
   List.for_all (fun v -> v.level < 0) (check etir ~hw)
 
+(* [ok_capacity] from an already-computed footprint vector (levels 0..L), as
+   incremental evaluation carries one — avoids re-deriving the interval
+   analysis when the memo cache is off. *)
+let ok_capacity_fp ~(hw : Hardware.Gpu_spec.t) (footprints : int array) =
+  let num_levels = Array.length footprints - 1 in
+  let fits level capacity_of =
+    footprints.(level) <= Hardware.Mem_level.capacity_bytes capacity_of
+  in
+  let rec caches level =
+    level > num_levels
+    || (fits level (Hardware.Gpu_spec.level hw level) && caches (level + 1))
+  in
+  fits 0 (Hardware.Gpu_spec.registers_level hw) && caches 1
+
+(* Full legality ([ok]) from a footprint vector: the capacity checks above
+   plus the launch limits, whose only footprint input is the level-0 slot. *)
+let ok_fp etir ~(hw : Hardware.Gpu_spec.t) ~footprints =
+  ok_capacity_fp ~hw footprints
+  &&
+  let tpb = Sched.Etir.threads_per_block etir in
+  tpb <= Hardware.Gpu_spec.max_threads_per_block hw
+  && footprints.(0) * tpb <= Hardware.Gpu_spec.registers_per_sm hw * 4
+
 let pp_violation ppf v =
   if v.level < 0 then
     Fmt.pf ppf "launch limit (%s): %d exceeds the cap of %d" v.what

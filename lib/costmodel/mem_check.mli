@@ -20,6 +20,16 @@ val ok : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> bool
     threads-per-block cap while upper-level tiles grow. *)
 val ok_capacity : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> bool
 
+(** {!ok_capacity} decided from an already-computed footprint vector
+    (levels [0..L]) as incremental evaluation carries one; agrees with
+    {!ok_capacity} whenever the vector is faithful to the state. *)
+val ok_capacity_fp : hw:Hardware.Gpu_spec.t -> int array -> bool
+
+(** {!ok} decided from an already-computed footprint vector: the capacity
+    checks plus the launch limits (threads per block, register file). *)
+val ok_fp :
+  Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> footprints:int array -> bool
+
 (** Renders the level (or "launch limit" for [level = -1]), the violated
     resource and both byte counts. *)
 val pp_violation : violation Fmt.t

@@ -47,39 +47,30 @@ let default_knobs = {
 
 let infeasible_time_s = 3600.0
 
-(* FLOPs one thread issues per innermost reduce chunk. *)
-let thread_chunk_flops etir =
-  let open Tensor_lang in
-  let compute = Sched.Etir.compute etir in
-  let body_flops =
-    Expr.flops (Compute.body compute)
-    + (if Compute.reduce_axes compute = [] then 0 else 1)
-  in
-  let elems = ref body_flops in
-  for dim = 0 to Sched.Etir.num_spatial etir - 1 do
-    elems := !elems * Sched.Etir.stile etir ~level:0 ~dim
-  done;
-  for dim = 0 to Sched.Etir.num_reduce etir - 1 do
-    elems := !elems * Sched.Etir.rtile etir ~level:0 ~dim
-  done;
-  !elems
+(* FLOPs one thread issues per innermost reduce chunk.  The computation
+   lives with the other component builders in [Delta]; this re-export keeps
+   the historical call sites (Benefit, tests) working. *)
+let thread_chunk_flops = Delta.thread_chunk_flops
 
-let evaluate ?(knobs = default_knobs) ~(hw : Hardware.Gpu_spec.t) etir =
-  if Sched.Etir.num_levels etir <> Hardware.Gpu_spec.schedulable_cache_levels hw
-  then
-    invalid_arg "Model.evaluate: ETIR level count does not match the device";
-  let total_flops =
-    float_of_int (Tensor_lang.Compute.total_flops (Sched.Etir.compute etir))
-  in
-  let occ = Occupancy.of_etir etir ~hw in
-  let footprints = Footprint.all_levels etir in
+(* The arithmetic tail of the model: from a component record to the metric
+   record.  [evaluate] is [aggregate] over a full component build
+   ([Delta.of_etir]); incremental evaluation is [aggregate] over
+   [Delta.child].  Both paths feed the identical expressions below, which is
+   what makes them bit-for-bit equal (tested in test/costmodel). *)
+let aggregate ?(knobs = default_knobs) ~(hw : Hardware.Gpu_spec.t) etir
+    (comps : Delta.components) =
+  let total_flops = comps.Delta.total_flops in
+  let occ = comps.Delta.occ in
+  (* A fresh copy per call: Metrics exposes the array and callers must not
+     alias the frozen component record. *)
+  let footprints = Array.copy comps.Delta.footprint in
   let num_levels = Sched.Etir.num_levels etir in
-  let traffic = Traffic.all_levels etir in
+  let traffic = Array.copy comps.Delta.traffic in
   (* DRAM traffic is floored at the compulsory minimum. *)
-  traffic.(num_levels) <- Traffic.dram_bytes etir;
+  traffic.(num_levels) <- Float.max traffic.(num_levels) comps.Delta.compulsory;
   let conflict =
     if knobs.model_conflicts then
-      Conflict.factor ~dilution:knobs.conflict_dilution etir ~hw
+      1.0 +. ((comps.Delta.conflict_raw -. 1.0) *. knobs.conflict_dilution)
     else 1.0
   in
   if occ.Occupancy.blocks_per_sm = 0 then
@@ -125,7 +116,7 @@ let evaluate ?(knobs = default_knobs) ~(hw : Hardware.Gpu_spec.t) etir =
     in
     let mem_times = Array.init (num_levels + 1) mem_time in
     let compute_time =
-      let chunk = float_of_int (thread_chunk_flops etir) in
+      let chunk = float_of_int comps.Delta.chunk_flops in
       let ilp_eff = chunk /. (chunk +. knobs.ilp_overhead) in
       let occ_eff =
         Float.min 1.0 (sm_occ /. knobs.occupancy_for_peak_compute)
@@ -168,6 +159,17 @@ let evaluate ?(knobs = default_knobs) ~(hw : Hardware.Gpu_spec.t) etir =
       grid_blocks = Sched.Etir.grid_blocks etir;
       footprints }
   end
+
+let evaluate ?knobs ~(hw : Hardware.Gpu_spec.t) etir =
+  if Sched.Etir.num_levels etir <> Hardware.Gpu_spec.schedulable_cache_levels hw
+  then
+    invalid_arg "Model.evaluate: ETIR level count does not match the device";
+  aggregate ?knobs ~hw etir (Delta.of_etir ~hw etir)
+
+(* Aggregation over an already-derived component record (the incremental
+   path), skipping the full rebuild.  The level-count check is the caller's
+   responsibility: components only exist for states built against [hw]. *)
+let evaluate_with ?knobs ~hw etir comps = aggregate ?knobs ~hw etir comps
 
 (* Memoized evaluation: the full pipeline model is a pure function of
    (device, knobs, program structure), so repeated scoring of the same state

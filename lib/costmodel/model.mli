@@ -33,6 +33,19 @@ val thread_chunk_flops : Sched.Etir.t -> int
 val evaluate :
   ?knobs:knobs -> hw:Hardware.Gpu_spec.t -> Sched.Etir.t -> Metrics.t
 
+(** [evaluate_with ~hw etir comps] aggregates an already-derived component
+    record (see {!Delta}) into the metric record, skipping the full
+    component rebuild.  Bit-for-bit equal to {!evaluate} when [comps] is a
+    faithful record for [etir] (the incremental invariant, property-tested
+    in test/costmodel).  No level-count check: components only exist for
+    states built against [hw]. *)
+val evaluate_with :
+  ?knobs:knobs ->
+  hw:Hardware.Gpu_spec.t ->
+  Sched.Etir.t ->
+  Delta.components ->
+  Metrics.t
+
 (** [evaluate] through the process-wide lock-sharded memo cache, keyed by
     the fingerprint of (device, knobs, state).  Identical results to
     {!evaluate} (keys are collision-checked exactly), so optimisers may use

@@ -15,12 +15,12 @@ type t = {
 
 let hard_block_cap = 16
 
-let of_etir etir ~(hw : Hardware.Gpu_spec.t) =
-  let tpb = Sched.Etir.threads_per_block etir in
-  let grid = Sched.Etir.grid_blocks etir in
+(* Core computation over the launch shape and the level-0/1 footprints;
+   [of_etir] derives those from the state, incremental evaluation feeds in
+   footprints it already holds. *)
+let of_parts ~(hw : Hardware.Gpu_spec.t) ~tpb ~grid ~smem_bytes
+    ~reg_bytes_per_thread =
   let smem = Hardware.Gpu_spec.level hw 1 in
-  let smem_bytes = Footprint.bytes_at etir ~level:1 in
-  let reg_bytes_per_thread = Footprint.bytes_at etir ~level:0 in
   let by_smem =
     if smem_bytes = 0 then hard_block_cap
     else Hardware.Mem_level.capacity_bytes smem / smem_bytes
@@ -57,3 +57,10 @@ let of_etir etir ~(hw : Hardware.Gpu_spec.t) =
     { blocks_per_sm = resident; sm_occupancy = occ;
       tail_efficiency = Float.max tail 1e-6; waves; global_threads }
   end
+
+let of_etir etir ~(hw : Hardware.Gpu_spec.t) =
+  of_parts ~hw
+    ~tpb:(Sched.Etir.threads_per_block etir)
+    ~grid:(Sched.Etir.grid_blocks etir)
+    ~smem_bytes:(Footprint.bytes_at etir ~level:1)
+    ~reg_bytes_per_thread:(Footprint.bytes_at etir ~level:0)

@@ -11,4 +11,16 @@ type t = {
 }
 
 val hard_block_cap : int
+
+(** Occupancy from an explicit launch shape and level-0/1 footprints —
+    what {!of_etir} derives from the state; incremental evaluation calls
+    this with footprints it already holds. *)
+val of_parts :
+  hw:Hardware.Gpu_spec.t ->
+  tpb:int ->
+  grid:int ->
+  smem_bytes:int ->
+  reg_bytes_per_thread:int ->
+  t
+
 val of_etir : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> t

@@ -11,15 +11,20 @@ open Tensor_lang
 let output_total_bytes etir =
   Compute.output_bytes (Sched.Etir.compute etir)
 
-(* Bytes loaded into ETIR level [level] from the level above it. *)
-let bytes_into etir ~level =
+(* Bytes loaded into ETIR level [level] from the level above it.  The
+   [_given] form takes the per-tile input footprint the caller already
+   computed (incremental evaluation shares it with the footprint term). *)
+let bytes_into_given etir ~level ~input_bytes =
   let instances =
     Sched.Etir.spatial_tiles_at etir ~level
     * Sched.Etir.reduce_steps_at etir ~level
   in
-  let per_tile = Footprint.input_bytes etir ~level in
-  (float_of_int instances *. float_of_int per_tile)
+  (float_of_int instances *. float_of_int input_bytes)
   +. float_of_int (output_total_bytes etir)
+
+let bytes_into etir ~level =
+  bytes_into_given etir ~level
+    ~input_bytes:(Footprint.input_bytes etir ~level)
 
 (* Compulsory traffic: every input read at least once, output written once. *)
 let compulsory_bytes etir =

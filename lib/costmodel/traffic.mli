@@ -8,6 +8,11 @@ val output_total_bytes : Sched.Etir.t -> int
     level, plus the written-through output. *)
 val bytes_into : Sched.Etir.t -> level:int -> float
 
+(** [bytes_into] with the per-tile input footprint supplied by the caller
+    (incremental evaluation computes it once and shares it with the
+    footprint term). *)
+val bytes_into_given : Sched.Etir.t -> level:int -> input_bytes:int -> float
+
 (** Cold-miss floor: all inputs read once plus the output written once. *)
 val compulsory_bytes : Sched.Etir.t -> float
 

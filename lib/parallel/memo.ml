@@ -12,13 +12,18 @@ type stats = {
   entries : int;
 }
 
+(* Hit/miss/eviction counters are atomics bumped outside the shard lock:
+   under GENSOR_JOBS>1 concurrent probes of one shard never tear a counter,
+   and [stats] snapshots without contending with the hot path.  [entries]
+   stays a plain field guarded by [lock] — it is only touched during
+   insertion, which already holds it. *)
 type ('k, 'v) shard = {
   lock : Mutex.t;
   mutable table : (int, ('k * 'v) list) Hashtbl.t;
   mutable entries : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 type ('k, 'v) t = {
@@ -45,15 +50,15 @@ let registry_lock = Mutex.create ()
 let rec pow2_at_least n p = if p >= n then p else pow2_at_least n (p * 2)
 
 let shard_stats s =
-  { hits = s.hits; misses = s.misses; evictions = s.evictions;
-    entries = s.entries }
+  { hits = Atomic.get s.hits; misses = Atomic.get s.misses;
+    evictions = Atomic.get s.evictions; entries = s.entries }
 
+(* Lock-free aggregation: atomics read directly, [entries] is a single-word
+   read (never torn) whose worst case is a just-superseded value. *)
 let stats cache =
   Array.fold_left
     (fun (acc : stats) shard ->
-      Mutex.lock shard.lock;
       let s = shard_stats shard in
-      Mutex.unlock shard.lock;
       { hits = acc.hits + s.hits; misses = acc.misses + s.misses;
         evictions = acc.evictions + s.evictions;
         entries = acc.entries + s.entries })
@@ -66,9 +71,9 @@ let clear cache =
       Mutex.lock shard.lock;
       Hashtbl.reset shard.table;
       shard.entries <- 0;
-      shard.hits <- 0;
-      shard.misses <- 0;
-      shard.evictions <- 0;
+      Atomic.set shard.hits 0;
+      Atomic.set shard.misses 0;
+      Atomic.set shard.evictions 0;
       Mutex.unlock shard.lock)
     cache.shards
 
@@ -78,7 +83,8 @@ let create ?(shards = 16) ?(capacity = 65536) ~name ~hash ~equal () =
     { shards =
         Array.init n (fun _ ->
             { lock = Mutex.create (); table = Hashtbl.create 64; entries = 0;
-              hits = 0; misses = 0; evictions = 0 });
+              hits = Atomic.make 0; misses = Atomic.make 0;
+              evictions = Atomic.make 0 });
       mask = n - 1;
       shard_capacity = max 8 (capacity / n);
       hash; equal }
@@ -102,12 +108,12 @@ let find_or_add cache key compute =
     in
     match hit with
     | Some (_, v) ->
-      shard.hits <- shard.hits + 1;
       Mutex.unlock shard.lock;
+      Atomic.incr shard.hits;
       v
     | None ->
-      shard.misses <- shard.misses + 1;
       Mutex.unlock shard.lock;
+      Atomic.incr shard.misses;
       (* Compute outside the lock: evaluations are orders of magnitude
          slower than a probe, and the key hierarchy (model -> traffic ->
          footprint caches) stays trivially deadlock-free this way.  Two
@@ -115,7 +121,7 @@ let find_or_add cache key compute =
       let v = compute () in
       Mutex.lock shard.lock;
       if shard.entries >= cache.shard_capacity then begin
-        shard.evictions <- shard.evictions + shard.entries;
+        ignore (Atomic.fetch_and_add shard.evictions shard.entries);
         Hashtbl.reset shard.table;
         shard.entries <- 0
       end;

@@ -39,6 +39,9 @@ val create :
     is disabled this is just [compute ()]. *)
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 
+(** Lock-free counter snapshot: hit/miss/eviction counters are per-shard
+    atomics, so aggregation never tears under concurrent probes
+    ([GENSOR_JOBS] > 1) and never contends with the hot path. *)
 val stats : ('k, 'v) t -> stats
 
 (** Drop all entries and reset the counters. *)

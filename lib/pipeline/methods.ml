@@ -161,7 +161,7 @@ let sweep ?jobs ~devices ~methods ops =
 
 (* One-line memo-cache summary for sweep reports. *)
 let pp_cache_stats ppf () =
-  match Costmodel.Model.cache_stats () with
+  (match Costmodel.Model.cache_stats () with
   | [] -> Fmt.pf ppf "memo caches: disabled"
   | stats ->
     let pp_one ppf (name, s) =
@@ -174,4 +174,23 @@ let pp_cache_stats ppf () =
       Fmt.pf ppf "%s %d/%d hits (%.1f%%), %d entries, %d evicted" name s.hits
         lookups rate s.entries s.evictions
     in
-    Fmt.pf ppf "memo caches: %a" (Fmt.list ~sep:Fmt.semi pp_one) stats
+    Fmt.pf ppf "memo caches: %a" (Fmt.list ~sep:Fmt.semi pp_one) stats);
+  (* Component-level incremental-evaluation counters (DESIGN.md §10). *)
+  let d = Costmodel.Delta.stats () in
+  let builds = d.Costmodel.Delta.st_full_builds + d.Costmodel.Delta.st_incremental_builds in
+  if builds > 0 then begin
+    let touched =
+      d.Costmodel.Delta.st_levels_recomputed + d.Costmodel.Delta.st_levels_reused
+    in
+    let reuse =
+      if touched = 0 then 0.0
+      else
+        100.0
+        *. float_of_int d.Costmodel.Delta.st_levels_reused
+        /. float_of_int touched
+    in
+    Fmt.pf ppf "@,incremental eval: %d incremental / %d full builds, %.1f%% level terms reused%s"
+      d.Costmodel.Delta.st_incremental_builds d.Costmodel.Delta.st_full_builds
+      reuse
+      (if Costmodel.Delta.enabled () then "" else " (disabled)")
+  end

@@ -27,6 +27,42 @@ let to_string = function
 
 let pp ppf t = Fmt.string ppf (to_string t)
 
+(* Which cost-model components an action can change — the invalidation
+   footprint incremental evaluation consults (DESIGN.md §10).  Effective
+   tiles at level [k] are the max of the raw tiles at levels 0..k, so a
+   tile edit at level [l] can only move per-level traffic/footprint terms
+   at levels >= l.  Occupancy reads the block shape (thread and block
+   tiles, i.e. levels 0 and 1) and the level-0/1 footprints; the
+   bank-conflict stride reads the level-0 spatial tile and the vthread
+   vector; the ILP chunk reads the level-0 tiles.  [Cache] moves only the
+   construction cursor, which no evaluated quantity depends on. *)
+type invalidation = {
+  inv_levels_from : int option;
+      (* per-level traffic and footprint terms at levels >= l are stale;
+         [None] = all per-level terms reusable *)
+  inv_occupancy : bool;
+  inv_conflict : bool;
+  inv_chunk : bool;  (* per-thread unroll chunk (ILP term) *)
+}
+
+let nothing_invalid =
+  { inv_levels_from = None; inv_occupancy = false; inv_conflict = false;
+    inv_chunk = false }
+
+let invalidation = function
+  | Tile { level; _ } ->
+    { inv_levels_from = Some level;
+      inv_occupancy = level <= 1;
+      inv_conflict = level = 0;
+      inv_chunk = level = 0 }
+  | Rtile { level; _ } ->
+    { inv_levels_from = Some level;
+      inv_occupancy = level <= 1;  (* via the level-0/1 footprints *)
+      inv_conflict = false;
+      inv_chunk = level = 0 }
+  | Cache -> nothing_invalid
+  | Set_vthread _ -> { nothing_invalid with inv_conflict = true }
+
 (* Doubling with an extent cap: tiles take values 1, 2, 4, ..., extent. *)
 let grow_size size extent = if size >= extent then None else Some (min (size * 2) extent)
 let shrink_size size = if size <= 1 then None else Some (size / 2)

@@ -16,6 +16,23 @@ type t =
 val to_string : t -> string
 val pp : t Fmt.t
 
+(** The invalidation footprint of an action: which cost-model component
+    groups of the parent state an incremental evaluator must recompute for
+    the child (everything else is structurally unchanged).  Effective tiles
+    at level [k] aggregate raw tiles at levels [0..k], so a tile edit at
+    level [l] only moves per-level terms at levels [>= l]; [Cache] moves
+    only the construction cursor and invalidates nothing. *)
+type invalidation = {
+  inv_levels_from : int option;
+      (** per-level traffic/footprint terms at levels >= this are stale;
+          [None] = all reusable *)
+  inv_occupancy : bool;
+  inv_conflict : bool;
+  inv_chunk : bool;  (** per-thread unroll chunk (ILP term) *)
+}
+
+val invalidation : t -> invalidation
+
 (** [apply etir action] is the successor state, or [None] when the action is
     illegal from [etir] (tile bounds, level monotonicity, vthread capacity,
     no faster level left). *)

@@ -279,6 +279,84 @@ let test_markov_chain_properties () =
   Alcotest.(check (float 1e-6)) "stationary distribution sums to 1" 1.0 mass;
   check_bool "non-negative" true (Array.for_all (fun p -> p >= -1e-12) dist)
 
+(* Dominance pruning must be invisible in the answer: exploring the FULL
+   tiny graph (uncapped, so both runs see the same reachable set) with and
+   without pruning yields the same best state and score, while actually
+   pruning a meaningful share of the frontier.  [Graph.best] breaks exact
+   score ties toward the smallest signature precisely so this holds when
+   saturating model terms (e.g. the compulsory-traffic floor) make several
+   states score identically. *)
+let test_graph_prune_preserves_best () =
+  let seed = Etir.create tiny_compute in
+  let plain = Gensor.Graph.explore ~max_states:1_000_000 seed in
+  let pruned = Gensor.Graph.explore ~max_states:1_000_000 ~prune_hw:hw seed in
+  check_bool "pruning actually fired" true
+    (Gensor.Graph.pruned_states pruned > 0);
+  Alcotest.(check int)
+    "plain explore prunes nothing" 0
+    (Gensor.Graph.pruned_states plain);
+  match (Gensor.Graph.best ~hw plain, Gensor.Graph.best ~hw pruned) with
+  | Some (ep, mp), Some (eq, mq) ->
+    Alcotest.(check string)
+      "same best state" (Etir.signature ep) (Etir.signature eq);
+    check_bool "same best score" true
+      (Costmodel.Metrics.score mp = Costmodel.Metrics.score mq)
+  | _ -> Alcotest.fail "a launchable best state exists in both runs"
+
+(* Same invariant one layer up: the optimizer's pooled-frontier dominance
+   sweep must not change the selected schedule, only the amount of
+   full-model scoring work. *)
+let test_optimizer_prune_transparent () =
+  let cfg p =
+    { Gensor.Optimizer.default_config with
+      Gensor.Optimizer.restarts = 4;
+      prune_dominated = p }
+  in
+  let on = Gensor.Optimizer.optimize ~config:(cfg true) ~jobs:1 ~hw (gemm ()) in
+  let off =
+    Gensor.Optimizer.optimize ~config:(cfg false) ~jobs:1 ~hw (gemm ())
+  in
+  check_bool "identical schedule" true
+    (Etir.equal on.Gensor.Optimizer.etir off.Gensor.Optimizer.etir);
+  check_bool "identical metrics" true
+    (on.Gensor.Optimizer.metrics = off.Gensor.Optimizer.metrics);
+  check_bool "pruning actually fired" true
+    (on.Gensor.Optimizer.candidates_pruned > 0);
+  Alcotest.(check int)
+    "prune-off sweep reports zero" 0 off.Gensor.Optimizer.candidates_pruned;
+  check_bool "pruning reduced scoring work" true
+    (on.Gensor.Optimizer.candidates_evaluated
+    < off.Gensor.Optimizer.candidates_evaluated)
+
+(* Incremental component evaluation is an oracle-equivalence refactor: with
+   it disabled (every edge re-analysed from scratch) the optimizer must
+   select the same schedule with the same metrics. *)
+let test_optimizer_incremental_transparent () =
+  let config =
+    { Gensor.Optimizer.default_config with Gensor.Optimizer.restarts = 4 }
+  in
+  let was = Costmodel.Delta.enabled () in
+  let memo_was = Parallel.Memo.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Costmodel.Delta.set_enabled was;
+      Parallel.Memo.set_enabled memo_was)
+    (fun () ->
+      (* Memoised transition lists carry components with them; disable the
+         caches so the full-rebuild run actually exercises the full path. *)
+      Parallel.Memo.set_enabled false;
+      Costmodel.Delta.set_enabled true;
+      let on = Gensor.Optimizer.optimize ~config ~jobs:1 ~hw (gemm ()) in
+      Costmodel.Delta.set_enabled false;
+      let off = Gensor.Optimizer.optimize ~config ~jobs:1 ~hw (gemm ()) in
+      check_bool "identical schedule" true
+        (Etir.equal on.Gensor.Optimizer.etir off.Gensor.Optimizer.etir);
+      check_bool "identical metrics" true
+        (on.Gensor.Optimizer.metrics = off.Gensor.Optimizer.metrics);
+      Alcotest.(check int)
+        "identical exploration" on.Gensor.Optimizer.states_explored
+        off.Gensor.Optimizer.states_explored)
+
 let test_value_iteration_converges () =
   let g = Gensor.Graph.explore ~max_states:150 (Etir.create tiny_compute) in
   let chain = Gensor.Value_iter.build ~hw g in
@@ -315,11 +393,17 @@ let () =
            test_optimizer_jobs_invariant;
          Alcotest.test_case "memo transparent" `Quick
            test_optimizer_memo_transparent;
+         Alcotest.test_case "prune transparent" `Quick
+           test_optimizer_prune_transparent;
+         Alcotest.test_case "incremental transparent" `Quick
+           test_optimizer_incremental_transparent;
          Alcotest.test_case "unique candidates" `Quick
            test_optimizer_unique_candidates;
          Alcotest.test_case "ablations" `Quick test_optimizer_ablations ]);
       ("markov",
        [ Alcotest.test_case "graph exploration" `Quick test_graph_explore;
+         Alcotest.test_case "prune preserves best" `Quick
+           test_graph_prune_preserves_best;
          Alcotest.test_case "chain properties" `Quick
            test_markov_chain_properties;
          Alcotest.test_case "value iteration" `Quick

@@ -335,6 +335,76 @@ let test_cache_stats_counters () =
       check_bool "a hit was recorded" true
         (after.Parallel.Memo.hits > before.Parallel.Memo.hits))
 
+(* The tentpole invariant: deriving a state's components incrementally
+   along any chain of construction edges is bit-for-bit what a from-scratch
+   analysis produces — same component record, same metrics, and the walked
+   state keeps its identity (fingerprint) no matter which path built it. *)
+let prop_incremental_equals_full =
+  QCheck.Test.make ~count:200 ~name:"incremental components = full rebuild"
+    QCheck.(make Gen.(int_range 0 1000))
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let m, n, k =
+        match seed mod 4 with
+        | 0 -> (256, 256, 256)
+        | 1 -> (512, 128, 64)
+        | 2 -> (4096, 1, 512)
+        | _ -> (48, 96, 192)
+      in
+      let e = ref (gemm_etir ~m ~n ~k ()) in
+      let comps = ref (Costmodel.Delta.of_etir ~hw !e) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        match Action.successors !e with
+        | [] -> ()
+        | succs ->
+          let action, next = Rng.choice rng succs in
+          let incr_comps =
+            Costmodel.Delta.child ~hw ~before:!e ~parent:!comps ~action next
+          in
+          let full_comps = Costmodel.Delta.of_etir ~hw next in
+          if incr_comps <> full_comps then ok := false;
+          if
+            Costmodel.Model.evaluate_with ~hw next incr_comps
+            <> Costmodel.Model.evaluate ~hw next
+          then ok := false;
+          (* Fingerprint agreement: the chained state and a freshly rebuilt
+             copy of the same edge are indistinguishable to the memo layer. *)
+          (match List.find_opt (fun (a, _) -> a = action) (Action.successors !e) with
+          | Some (_, rebuilt) ->
+            if Etir.fingerprint next <> Etir.fingerprint rebuilt then
+              ok := false
+          | None -> ok := false);
+          e := next;
+          comps := incr_comps
+      done;
+      !ok)
+
+(* The build counters must reflect which path ran: a full build bumps
+   [st_full_builds], an edge derivation bumps [st_incremental_builds], and
+   disabling the feature routes [child] through the full path. *)
+let test_delta_stats_counters () =
+  let open Costmodel.Delta in
+  let e = gemm_etir () in
+  reset_stats ();
+  let comps = of_etir ~hw e in
+  check_int "one full build" 1 (stats ()).st_full_builds;
+  (match Action.successors e with
+  | [] -> Alcotest.fail "seed state has no successors"
+  | (action, next) :: _ ->
+    ignore (child ~hw ~before:e ~parent:comps ~action next);
+    let s = stats () in
+    check_int "one incremental build" 1 s.st_incremental_builds;
+    check_bool "level counters moved" true
+      (s.st_levels_recomputed + s.st_levels_reused > 0);
+    set_enabled false;
+    Fun.protect
+      ~finally:(fun () -> set_enabled true)
+      (fun () ->
+        ignore (child ~hw ~before:e ~parent:comps ~action next);
+        check_int "disabled child counts as full build" 2
+          (stats ()).st_full_builds))
+
 let prop_model_deterministic =
   QCheck.Test.make ~count:100 ~name:"model evaluation is deterministic"
     QCheck.(make Gen.(int_range 0 1000))
@@ -387,4 +457,7 @@ let () =
          Alcotest.test_case "cache stats counters" `Quick
            test_cache_stats_counters;
          QCheck_alcotest.to_alcotest prop_evaluate_cached_transparent;
-         QCheck_alcotest.to_alcotest prop_model_deterministic ]) ]
+         QCheck_alcotest.to_alcotest prop_model_deterministic ]);
+      ("delta",
+       [ Alcotest.test_case "build counters" `Quick test_delta_stats_counters;
+         QCheck_alcotest.to_alcotest prop_incremental_equals_full ]) ]

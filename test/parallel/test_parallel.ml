@@ -135,6 +135,30 @@ let test_memo_parallel_consistency () =
     results;
   Parallel.Pool.shutdown pool
 
+let test_memo_parallel_stats_no_tearing () =
+  (* The counters are per-shard atomics: under a concurrent hammer every
+     lookup must be accounted exactly once (hits + misses = lookups), and
+     reading [stats] mid-flight must never tear or deadlock.  With plain
+     ints the read-modify-write races drop increments under GENSOR_JOBS>1. *)
+  let memo = int_memo "t-atomic-stats" in
+  let pool = Parallel.Pool.create ~jobs:4 in
+  let lookups = 4000 in
+  ignore
+    (Parallel.Pool.map pool
+       (fun i ->
+         (* interleave probes with snapshot reads *)
+         if i mod 97 = 0 then ignore (Parallel.Memo.stats memo);
+         Parallel.Memo.find_or_add memo (i mod 31) (fun () -> i mod 31))
+       (List.init lookups Fun.id));
+  Parallel.Pool.shutdown pool;
+  let s = Parallel.Memo.stats memo in
+  check_int "every lookup accounted once" lookups
+    (s.Parallel.Memo.hits + s.Parallel.Memo.misses);
+  (* Racing domains may both miss the same cold key (compute runs outside
+     the shard lock), so distinct keys is a floor, not an exact count. *)
+  check_bool "at least one miss per distinct key" true
+    (s.Parallel.Memo.misses >= 31)
+
 let () =
   Alcotest.run "parallel"
     [ ("pool",
@@ -153,4 +177,6 @@ let () =
          Alcotest.test_case "disabled passthrough" `Quick
            test_memo_disabled_passthrough;
          Alcotest.test_case "parallel consistency" `Quick
-           test_memo_parallel_consistency ]) ]
+           test_memo_parallel_consistency;
+         Alcotest.test_case "parallel stats no tearing" `Quick
+           test_memo_parallel_stats_no_tearing ]) ]
