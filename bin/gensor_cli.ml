@@ -46,6 +46,29 @@ let no_incremental_arg =
 let apply_incremental no_incremental =
   if no_incremental then Costmodel.Delta.set_enabled false
 
+(* ---------- tracing ---------- *)
+
+let trace_arg =
+  let doc =
+    "Record a trace of this invocation to $(docv): Chrome trace_event JSON \
+     (open in chrome://tracing or Perfetto) when the name ends in .json, a \
+     flat text summary otherwise.  Same effect as setting \
+     GENSOR_TRACE=$(docv); pass $(b,off) to silence an inherited \
+     GENSOR_TRACE."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let apply_trace = function
+  | None -> ()
+  | Some spec -> Trace.set_output (Trace.parse_spec spec)
+
+(* Explicit flush so the command can report the path; the library's at_exit
+   flush covers every other exit path. *)
+let report_trace () =
+  match Trace.flush () with
+  | Some path -> Fmt.pr "wrote trace %s@." path
+  | None -> ()
+
 (* ---------- persistent artifact store ---------- *)
 
 let cache_dir_arg =
@@ -80,8 +103,9 @@ let cuda_arg =
   Arg.(value & flag & info [ "cuda" ] ~doc)
 
 let compile_cmd =
-  let run device method_name label emit_cuda cache_dir no_incremental =
+  let run device method_name label emit_cuda cache_dir no_incremental trace =
     apply_incremental no_incremental;
+    apply_trace trace;
     match
       ( resolve_device device,
         resolve_method method_name,
@@ -133,6 +157,7 @@ let compile_cmd =
         Fmt.pr "@.%s@.%s@."
           (Codegen.Cuda.emit output.Pipeline.Methods.etir)
           (Codegen.Cuda.emit_host output.Pipeline.Methods.etir);
+      report_trace ();
       `Ok ()
   in
   let doc =
@@ -145,7 +170,7 @@ let compile_cmd =
     Term.(
       ret
         (const run $ device_arg $ method_arg $ op_arg $ cuda_arg
-       $ cache_dir_arg $ no_incremental_arg))
+       $ cache_dir_arg $ no_incremental_arg $ trace_arg))
 
 (* ---------- ops ---------- *)
 
@@ -184,8 +209,9 @@ let resolve_model name ~batch =
   | other -> Error (`Msg (Fmt.str "unknown model %s" other))
 
 let model_cmd =
-  let run device method_name model_name batch cache_dir no_incremental =
+  let run device method_name model_name batch cache_dir no_incremental trace =
     apply_incremental no_incremental;
+    apply_trace trace;
     match
       (resolve_device device, resolve_method method_name,
        resolve_model model_name ~batch)
@@ -200,6 +226,7 @@ let model_cmd =
       Fmt.pr "%a@." Dnn.Runner.pp_report report;
       let torch = Dnn.Runner.run_pytorch ~hw model in
       Fmt.pr "%a@." Dnn.Runner.pp_report torch;
+      report_trace ();
       `Ok ()
   in
   let doc =
@@ -210,7 +237,7 @@ let model_cmd =
     Term.(
       ret
         (const run $ device_arg $ method_arg $ model_name_arg $ batch_arg
-       $ cache_dir_arg $ no_incremental_arg))
+       $ cache_dir_arg $ no_incremental_arg $ trace_arg))
 
 (* ---------- verify ---------- *)
 
@@ -241,8 +268,9 @@ let jobs_arg =
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let verify_cmd =
-  let run device methods_csv op_filter verbose jobs no_incremental =
+  let run device methods_csv op_filter verbose jobs no_incremental trace =
     apply_incremental no_incremental;
+    apply_trace trace;
     let devices =
       if String.lowercase_ascii device = "all" then Ok Hardware.Presets.all
       else Result.map (fun hw -> [ hw ]) (resolve_device device)
@@ -312,6 +340,7 @@ let verify_cmd =
       Fmt.pr "@.verified %d schedules: %d error(s), %d warning(s)@."
         (List.length rows) !total_errors !total_warnings;
       Fmt.pr "%a@." Pipeline.Methods.pp_cache_stats ();
+      report_trace ();
       if !total_errors > 0 then
         `Error (false, "error-severity diagnostics found")
       else `Ok ()
@@ -324,7 +353,7 @@ let verify_cmd =
     Term.(
       ret
         (const run $ verify_device_arg $ verify_methods_arg $ verify_op_arg
-       $ verbose_arg $ jobs_arg $ no_incremental_arg))
+       $ verbose_arg $ jobs_arg $ no_incremental_arg $ trace_arg))
 
 (* ---------- bench ---------- *)
 
@@ -344,6 +373,8 @@ type bench_row = {
   b_prune_rate : float option;
       (* fraction of pooled candidates dropped by dominance pruning *)
   b_jobs : int;
+  b_counters : (string * int) list;
+      (* unified-registry deltas while the measured runs executed *)
 }
 
 let memo_snapshot () =
@@ -351,7 +382,18 @@ let memo_snapshot () =
     (fun (h, m) (_, s) -> (h + s.Parallel.Memo.hits, m + s.Parallel.Memo.misses))
     (0, 0) (Parallel.Memo.all_stats ())
 
+(* Registry movement while an arm ran: entries whose value changed, as
+   (name, delta).  Gauge-like entries (memo [entries]) can shrink on an
+   eviction; the signed delta is the honest report. *)
+let counter_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+      if v <> v0 then Some (name, v - v0) else None)
+    after
+
 let bench_arm ?(warmup = 0) ~name ~jobs ~runs ?states f =
+  Trace.with_span ~name:"bench.arm" ~args:[ ("name", name) ] @@ fun () ->
   (* Untimed warmup runs: arms measuring a warm steady state (memo caches,
      allocator) must not fold their cold first run into the average — with
      --quick's 3 runs that would understate the warm throughput by a third. *)
@@ -359,12 +401,14 @@ let bench_arm ?(warmup = 0) ~name ~jobs ~runs ?states f =
     ignore (f ())
   done;
   let h0, m0 = memo_snapshot () in
+  let c0 = Trace.Counter.snapshot () in
   let t0 = Unix.gettimeofday () in
   let states_total = ref 0 in
   for _ = 1 to runs do
     states_total := !states_total + f ()
   done;
   let dt = (Unix.gettimeofday () -. t0) /. float_of_int runs in
+  let counters = counter_delta c0 (Trace.Counter.snapshot ()) in
   let h1, m1 = memo_snapshot () in
   let lookups = h1 - h0 + (m1 - m0) in
   let hit_rate =
@@ -382,7 +426,8 @@ let bench_arm ?(warmup = 0) ~name ~jobs ~runs ?states f =
     | Some r -> Fmt.str "  (%.1f%% memo hits)" (100.0 *. r)
     | None -> "");
   { b_name = name; b_ns = dt *. 1e9; b_runs = runs; b_states_s = states_s;
-    b_hit_rate = hit_rate; b_prune_rate = None; b_jobs = jobs }
+    b_hit_rate = hit_rate; b_prune_rate = None; b_jobs = jobs;
+    b_counters = counters }
 
 let bench_json rows ~jobs ~speedup ~speedup_incremental =
   let buf = Buffer.create 1024 in
@@ -391,7 +436,7 @@ let bench_json rows ~jobs ~speedup ~speedup_incremental =
     | Some v -> Fmt.str "%.3f" v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/2\",\n";
+  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/3\",\n";
   Buffer.add_string buf (Fmt.str "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf
     (Fmt.str "  \"cpus\": %d,\n" (Domain.recommended_domain_count ()));
@@ -403,14 +448,24 @@ let bench_json rows ~jobs ~speedup ~speedup_incremental =
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->
+      (* The arm line carries every scalar (the --check reader matches
+         [name] and [states_per_s] on one line); the registry deltas
+         follow as a nested object so arms carry their counter snapshots. *)
       Buffer.add_string buf
         (Fmt.str
            "    { \"name\": %S, \"ns_per_run\": %.1f, \"runs\": %d, \
             \"states_per_s\": %s, \"cache_hit_rate\": %s, \
-            \"prune_rate\": %s, \"jobs\": %d }%s\n"
+            \"prune_rate\": %s, \"jobs\": %d,\n"
            r.b_name r.b_ns r.b_runs (field_opt r.b_states_s)
-           (field_opt r.b_hit_rate) (field_opt r.b_prune_rate) r.b_jobs
-           (if i = List.length rows - 1 then "" else ",")))
+           (field_opt r.b_hit_rate) (field_opt r.b_prune_rate) r.b_jobs);
+      Buffer.add_string buf "      \"counters\": {";
+      List.iteri
+        (fun j (name, v) ->
+          Buffer.add_string buf
+            (Fmt.str "%s\"%s\": %d" (if j = 0 then " " else ", ") name v))
+        r.b_counters;
+      Buffer.add_string buf
+        (Fmt.str " } }%s\n" (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
@@ -513,11 +568,13 @@ let bench_check_arg =
   Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE" ~doc)
 
 let bench_cmd =
-  let run json_file quick jobs cache_dir no_incremental check_file =
+  let run json_file quick jobs cache_dir no_incremental check_file trace =
     apply_incremental no_incremental;
+    apply_trace trace;
     let incremental = Costmodel.Delta.enabled () in
     let hw = Hardware.Presets.rtx4090 in
-    let gemm = Ops.Op.compute (Ops.Matmul.gemm ~m:1024 ~n:1024 ~k:1024 ()) in
+    let gemm_op = Ops.Matmul.gemm ~m:1024 ~n:1024 ~k:1024 () in
+    let gemm = Ops.Op.compute gemm_op in
     let jobs =
       match jobs with Some j -> max 1 j | None -> Parallel.Pool.default_jobs ()
     in
@@ -544,10 +601,27 @@ let bench_cmd =
           (if pooled = 0 then None
            else Some (float_of_int !pruned /. float_of_int pooled)) }
     in
+    (* Routed through Pipeline.Methods (not Roller.construct directly) so a
+       traced bench exercises the per-method pipeline arm like a sweep
+       does; the method wrapper adds one span and a verify gate that is
+       off by default. *)
+    let roller_method = Pipeline.Methods.roller () in
     arm
       (bench_arm ~name:"roller-gemm1024" ~jobs:1 ~runs (fun () ->
-           ignore (Roller.construct ~hw gemm);
+           ignore (roller_method.Pipeline.Methods.compile ~hw gemm_op);
            0));
+    (* Bounded construction-graph enumeration with dominance pruning: the
+       graph layer's arm (and its spans/counters in a traced run). *)
+    arm
+      (bench_arm ~name:"graph-explore-512" ~jobs:1 ~runs ~states:()
+         (fun () ->
+           let seed =
+             Sched.Etir.create
+               ~num_levels:(Hardware.Gpu_spec.schedulable_cache_levels hw)
+               gemm
+           in
+           Gensor.Graph.size
+             (Gensor.Graph.explore ~max_states:512 ~prune_hw:hw seed)));
     (* Sequential, uncached, full re-evaluation at every state: the oracle
        code path (--no-incremental).  The gap to the next arm is the
        incremental-evaluation win alone. *)
@@ -676,6 +750,7 @@ let bench_cmd =
       output_string oc (bench_json rows ~jobs ~speedup ~speedup_incremental);
       close_out oc;
       Fmt.pr "wrote %s@." file);
+    report_trace ();
     match check_file with
     | None -> `Ok ()
     | Some file -> (
@@ -692,7 +767,7 @@ let bench_cmd =
     Term.(
       ret
         (const run $ bench_json_arg $ bench_quick_arg $ jobs_arg
-       $ cache_dir_arg $ no_incremental_arg $ bench_check_arg))
+       $ cache_dir_arg $ no_incremental_arg $ bench_check_arg $ trace_arg))
 
 (* ---------- cache ---------- *)
 
@@ -816,6 +891,32 @@ let cache_cmd =
   Cmd.group (Cmd.info "cache" ~doc)
     [ cache_ls_cmd; cache_stats_cmd; cache_purge_cmd; cache_export_cmd ]
 
+(* ---------- trace ---------- *)
+
+let trace_file_arg =
+  let doc = "Trace file to check (as written by --trace / GENSOR_TRACE)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let trace_check_cmd =
+  let run file =
+    match Trace.validate_file file with
+    | Ok v ->
+      Fmt.pr "%s: %d event(s), %d balanced span(s) across %d lane(s), %d counter(s)@."
+        file v.Trace.v_events v.Trace.v_spans v.Trace.v_tids v.Trace.v_counters;
+      `Ok ()
+    | Error m -> `Error (false, m)
+  in
+  let doc =
+    "Validate a Chrome-format trace: well-formed events and balanced, \
+     properly nested spans on every thread lane.  Exits non-zero on any \
+     violation (CI uses this as the trace-smoke gate)."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const run $ trace_file_arg))
+
+let trace_cmd =
+  let doc = "Inspect traces recorded with --trace or GENSOR_TRACE." in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_check_cmd ]
+
 (* ---------- devices ---------- *)
 
 let devices_cmd =
@@ -833,4 +934,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; ops_cmd; model_cmd; devices_cmd; verify_cmd;
-            bench_cmd; cache_cmd ]))
+            bench_cmd; cache_cmd; trace_cmd ]))

@@ -77,7 +77,11 @@ let remember t k (r : Record.t) =
     ()
   | _ -> Hashtbl.replace t.table k r
 
+let c_puts = Trace.Counter.make "store.puts"
+let c_scanned = Trace.Counter.make "store.entries_scanned"
+
 let scan t =
+  Trace.with_span ~name:"store.scan" ~args:[ ("dir", t.dir) ] @@ fun () ->
   let files = try Sys.readdir t.dir with Sys_error _ -> [||] in
   Array.sort compare files;
   Array.iter
@@ -85,7 +89,9 @@ let scan t =
       if Filename.check_suffix f suffix then begin
         let path = Filename.concat t.dir f in
         match Record.decode (read_file path) with
-        | Ok r -> remember t (key_of_record r) r
+        | Ok r ->
+          Trace.Counter.incr c_scanned;
+          remember t (key_of_record r) r
         | Error error -> t.issues <- { path; error } :: t.issues
         | exception Sys_error m ->
           t.issues <-
@@ -102,10 +108,7 @@ let open_ dir =
 
 let env_var = "GENSOR_CACHE_DIR"
 
-let open_env () =
-  match Sys.getenv_opt env_var with
-  | Some dir when String.trim dir <> "" -> Some (open_ dir)
-  | _ -> None
+let open_env () = Option.map open_ (Trace.Env.string env_var)
 
 let locked t f =
   Mutex.lock t.lock;
@@ -146,6 +149,8 @@ let write_index_unlocked t =
 
 let put t (r : Record.t) =
   let k = key_of_record r in
+  Trace.Counter.incr c_puts;
+  Trace.with_span ~name:"store.put" ~args:[ ("key", k) ] @@ fun () ->
   locked t (fun () ->
       remember t k r;
       (match Hashtbl.find_opt t.table k with

@@ -41,6 +41,9 @@ let append_probability ~temperature =
     (1.0 -. (1.0 /. (1.0 +. exp (-0.5 *. (-.log temperature -. 10.0)))))
 
 let run ~hw ~rng ?(config = default_config) etir0 =
+  (* One span per chain; under the domain pool these land on the worker's
+     own lane in the trace. *)
+  Trace.with_span ~name:"anneal.run" @@ fun () ->
   let top : (string, Etir.t) Hashtbl.t = Hashtbl.create 64 in
   let consider etir =
     let key = Etir.signature etir in

@@ -13,7 +13,13 @@ type t = {
   pruned : int;  (* states recorded but not expanded (dominance pruning) *)
 }
 
+let c_pruned = Trace.Counter.make "graph.pruned"
+let c_states = Trace.Counter.make "graph.states"
+
 let explore ?(max_states = 2000) ?(max_depth = max_int) ?prune_hw seed_state =
+  Trace.with_span ~name:"graph.explore"
+    ~args:[ ("max_states", string_of_int max_states) ]
+  @@ fun () ->
   let index_of = Hashtbl.create 256 in
   let states = ref [] in
   let edges = ref [] in
@@ -75,6 +81,8 @@ let explore ?(max_states = 2000) ?(max_depth = max_int) ?prune_hw seed_state =
           end)
         (Action.successors etir)
   done;
+  Trace.Counter.add c_pruned !pruned;
+  Trace.Counter.add c_states !count;
   { states = Array.of_list (List.rev !states); index_of;
     edges = List.rev !edges; pruned = !pruned }
 

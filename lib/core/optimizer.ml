@@ -77,7 +77,20 @@ let sized_anneal_config base compute ~levels =
    the new shape (the paper's ongoing-work direction: real-time
    re-optimisation of dynamic networks).  Warm chains run a shortened
    anneal — they refine instead of rebuilding. *)
+(* Unified-registry counters: per-run numbers stay in [result]; these
+   accumulate across runs so traces and bench arms read construction
+   totals from the same place as every other layer (DESIGN.md section 11). *)
+let c_states_explored = Trace.Counter.make "optimizer.states_explored"
+let c_candidates_evaluated = Trace.Counter.make "optimizer.candidates_evaluated"
+let c_candidates_pruned = Trace.Counter.make "optimizer.candidates_pruned"
+let c_restarts = Trace.Counter.make "optimizer.restarts"
+
 let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
+  Trace.with_span ~name:"optimizer.optimize"
+    ~args:
+      [ ("compute", Tensor_lang.Compute.name compute);
+        ("warm", if warm_start = None then "false" else "true") ]
+  @@ fun () ->
   let start = Unix.gettimeofday () in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Parallel.Pool.default_jobs ()
@@ -123,9 +136,15 @@ let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
     split restarts []
   in
   let outcomes =
-    Parallel.Pool.map_auto ~jobs
-      (fun chain_rng -> Anneal.run ~hw ~rng:chain_rng ~config:anneal_config initial)
-      chain_rngs
+    Trace.with_span ~name:"optimizer.chains"
+      ~args:
+        [ ("restarts", string_of_int restarts);
+          ("jobs", string_of_int jobs) ]
+      (fun () ->
+        Parallel.Pool.map_auto ~jobs
+          (fun chain_rng ->
+            Anneal.run ~hw ~rng:chain_rng ~config:anneal_config initial)
+          chain_rngs)
   in
   let states_explored =
     List.fold_left (fun acc o -> acc + o.Anneal.steps) 0 outcomes
@@ -179,7 +198,11 @@ let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
      and hence the selected schedule — does not depend on [jobs]. *)
   let candidates, candidates_pruned =
     if not config.prune_dominated then (candidates, 0)
-    else begin
+    else
+      Trace.with_span ~name:"optimizer.prune"
+        ~args:[ ("candidates", string_of_int (List.length candidates)) ]
+      @@ fun () ->
+      begin
       (* Skyline sweep instead of the naive all-pairs scan.  Components are
          lower-better, so a dominator's component sum is strictly smaller
          than its victim's; processing in ascending-sum order guarantees
@@ -234,10 +257,14 @@ let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
     end
   in
   let scored =
-    Parallel.Pool.map_auto ~jobs
-      (fun (etir, comps) ->
-        (etir, Costmodel.Model.evaluate_with ~knobs:config.knobs ~hw etir comps))
-      candidates
+    Trace.with_span ~name:"optimizer.score"
+      ~args:[ ("candidates", string_of_int (List.length candidates)) ]
+      (fun () ->
+        Parallel.Pool.map_auto ~jobs
+          (fun (etir, comps) ->
+            (etir,
+             Costmodel.Model.evaluate_with ~knobs:config.knobs ~hw etir comps))
+          candidates)
   in
   let evaluated = ref (List.length scored) in
   let ranked =
@@ -259,11 +286,14 @@ let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
      the polish does not re-evaluate states scored just above. *)
   let leaders = List.filteri (fun i _ -> i < 4) ranked in
   let polished3 =
-    Parallel.Pool.map_auto ~jobs
-      (fun (etir, metrics) ->
-        Costmodel.Polish.greedy ~knobs:config.knobs ~budget:32 ~metrics ~hw
-          etir)
-      leaders
+    Trace.with_span ~name:"optimizer.polish"
+      ~args:[ ("leaders", string_of_int (List.length leaders)) ]
+      (fun () ->
+        Parallel.Pool.map_auto ~jobs
+          (fun (etir, metrics) ->
+            Costmodel.Polish.greedy ~knobs:config.knobs ~budget:32 ~metrics
+              ~hw etir)
+          leaders)
   in
   let polished =
     List.map
@@ -282,6 +312,10 @@ let optimize ?(config = default_config) ?warm_start ?jobs ~hw compute =
           else (be, bm))
         first rest
   in
+  Trace.Counter.add c_states_explored states_explored;
+  Trace.Counter.add c_candidates_evaluated !evaluated;
+  Trace.Counter.add c_candidates_pruned candidates_pruned;
+  Trace.Counter.add c_restarts restarts;
   { etir; metrics;
     states_explored;
     candidates_evaluated = !evaluated;

@@ -34,22 +34,22 @@ type components = {
   total_flops : float;    (* constant along a chain *)
 }
 
-(* Gate: default on; GENSOR_INCREMENTAL=0/false forces full rebuilds. *)
+(* Gate: default on; GENSOR_INCREMENTAL=0/false/no/off forces full rebuilds
+   (Trace.Env documents the accepted spellings). *)
 let enabled_flag =
-  Atomic.make
-    (match Sys.getenv_opt "GENSOR_INCREMENTAL" with
-    | Some ("0" | "false" | "FALSE" | "no") -> false
-    | _ -> true)
+  Atomic.make (Trace.Env.bool ~default:true "GENSOR_INCREMENTAL")
 
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
 
-(* Counters are atomic so concurrent anneal chains under GENSOR_JOBS>1
-   never tear them; [stats] is a lock-free snapshot. *)
-let full_builds = Atomic.make 0
-let incremental_builds = Atomic.make 0
-let levels_recomputed = Atomic.make 0
-let levels_reused = Atomic.make 0
+(* Build counters live in the unified registry (Trace.Counter): still
+   atomics underneath — concurrent anneal chains under GENSOR_JOBS>1 never
+   tear them and [stats] stays a lock-free snapshot — but now readable
+   alongside every other layer's counters from one place. *)
+let full_builds = Trace.Counter.make "delta.full_builds"
+let incremental_builds = Trace.Counter.make "delta.incremental_builds"
+let levels_recomputed = Trace.Counter.make "delta.levels_recomputed"
+let levels_reused = Trace.Counter.make "delta.levels_reused"
 
 type stats = {
   st_full_builds : int;
@@ -59,16 +59,16 @@ type stats = {
 }
 
 let stats () =
-  { st_full_builds = Atomic.get full_builds;
-    st_incremental_builds = Atomic.get incremental_builds;
-    st_levels_recomputed = Atomic.get levels_recomputed;
-    st_levels_reused = Atomic.get levels_reused }
+  { st_full_builds = Trace.Counter.get full_builds;
+    st_incremental_builds = Trace.Counter.get incremental_builds;
+    st_levels_recomputed = Trace.Counter.get levels_recomputed;
+    st_levels_reused = Trace.Counter.get levels_reused }
 
 let reset_stats () =
-  Atomic.set full_builds 0;
-  Atomic.set incremental_builds 0;
-  Atomic.set levels_recomputed 0;
-  Atomic.set levels_reused 0
+  Trace.Counter.set full_builds 0;
+  Trace.Counter.set incremental_builds 0;
+  Trace.Counter.set levels_recomputed 0;
+  Trace.Counter.set levels_reused 0
 
 let pp_stats ppf s =
   Fmt.pf ppf "full %d  incremental %d  levels recomputed %d  reused %d"
@@ -110,7 +110,7 @@ let occupancy_of ~hw etir ~footprint =
     ~reg_bytes_per_thread:footprint.(0)
 
 let of_etir ~(hw : Hardware.Gpu_spec.t) etir =
-  Atomic.incr full_builds;
+  Trace.Counter.incr full_builds;
   let num_levels = Sched.Etir.num_levels etir in
   let traffic = Array.make (num_levels + 1) 0.0 in
   let footprint = Array.make (num_levels + 1) 0 in
@@ -130,7 +130,7 @@ let child ~(hw : Hardware.Gpu_spec.t) ~before ~(parent : components) ~action
     next =
   if not (Atomic.get enabled_flag) then of_etir ~hw next
   else begin
-    Atomic.incr incremental_builds;
+    Trace.Counter.incr incremental_builds;
     let inv = Sched.Action.invalidation action in
     let num_levels = Sched.Etir.num_levels next in
     (* The per-level terms at level [l] are functions of the *effective*
@@ -181,8 +181,8 @@ let child ~(hw : Hardware.Gpu_spec.t) ~before ~(parent : components) ~action
         end
     in
     let dirty = upto - from in
-    ignore (Atomic.fetch_and_add levels_recomputed dirty);
-    ignore (Atomic.fetch_and_add levels_reused (num_levels + 1 - dirty));
+    Trace.Counter.add levels_recomputed dirty;
+    Trace.Counter.add levels_reused (num_levels + 1 - dirty);
     (* Occupancy reads the raw thread tile (threads per block), the level-1
        effective tile (grid) and the level-0/1 footprints: a level-0 spatial
        tile edit always moves it, anything else only if a level-0/1 slot was

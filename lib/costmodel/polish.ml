@@ -6,6 +6,9 @@
    runs out. *)
 
 let greedy ?(knobs = Model.default_knobs) ?(budget = 32) ?metrics ~hw etir =
+  Trace.with_span ~name:"polish.greedy"
+    ~args:[ ("budget", string_of_int budget) ]
+  @@ fun () ->
   let evaluated = ref 0 in
   (* The walk follows action edges, so each neighbour's components derive
      incrementally from the current state's; the legality check and the

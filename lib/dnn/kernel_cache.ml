@@ -50,6 +50,15 @@ type counters = {
 (* Store identity of schedules this cache produces. *)
 let method_name = "gensor"
 
+(* Process-wide mirrors of the per-instance counters in the unified
+   registry (Trace.Counter): traces and bench arms read kernel-cache
+   behaviour from the same place as every other layer. *)
+let c_hits = Trace.Counter.make "kcache.hits"
+let c_warm_misses = Trace.Counter.make "kcache.warm_misses"
+let c_cold_misses = Trace.Counter.make "kcache.cold_misses"
+let c_store_hits = Trace.Counter.make "kcache.store_hits"
+let c_store_writes = Trace.Counter.make "kcache.store_writes"
+
 type t = {
   hw : Hardware.Gpu_spec.t;
   config : Gensor.Optimizer.config;
@@ -165,15 +174,22 @@ let write_through t entry ~steps =
         ~steps ~device:t.hw ~etir:entry.etir ~metrics:entry.metrics ()
     in
     ignore (Artifact.Store.put store r : string);
-    t.counters.c_store_writes <- t.counters.c_store_writes + 1
+    t.counters.c_store_writes <- t.counters.c_store_writes + 1;
+    Trace.Counter.incr c_store_writes
 
 let compile t compute =
+  Trace.with_span ~name:"kcache.compile"
+    ~args:[ ("shape", shape_key compute) ]
+  @@ fun () ->
   let key = shape_key compute in
   match Hashtbl.find_opt t.entries key with
   | Some entry ->
     t.counters.c_hits <- t.counters.c_hits + 1;
-    if Hashtbl.mem t.preloaded key then
+    Trace.Counter.incr c_hits;
+    if Hashtbl.mem t.preloaded key then begin
       t.counters.c_store_hits <- t.counters.c_store_hits + 1;
+      Trace.Counter.incr c_store_hits
+    end;
     (entry, Hit)
   | None ->
     let warm = nearest_in_family !(family_of t (family_key compute)) compute in
@@ -185,8 +201,12 @@ let compile t compute =
       | None -> Gensor.Optimizer.optimize ~config:t.config ~hw:t.hw compute
     in
     (match warm with
-    | Some _ -> t.counters.c_warm_misses <- t.counters.c_warm_misses + 1
-    | None -> t.counters.c_cold_misses <- t.counters.c_cold_misses + 1);
+    | Some _ ->
+      t.counters.c_warm_misses <- t.counters.c_warm_misses + 1;
+      Trace.Counter.incr c_warm_misses
+    | None ->
+      t.counters.c_cold_misses <- t.counters.c_cold_misses + 1;
+      Trace.Counter.incr c_cold_misses);
     t.counters.c_construction_steps <-
       t.counters.c_construction_steps + result.Gensor.Optimizer.states_explored;
     let entry =

@@ -34,11 +34,7 @@ type ('k, 'v) t = {
   equal : 'k -> 'k -> bool;
 }
 
-let enabled_flag =
-  Atomic.make
-    (match Sys.getenv_opt "GENSOR_MEMO" with
-    | Some ("0" | "false") -> false
-    | Some _ | None -> true)
+let enabled_flag = Atomic.make (Trace.Env.bool ~default:true "GENSOR_MEMO")
 
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
@@ -92,6 +88,16 @@ let create ?(shards = 16) ?(capacity = 65536) ~name ~hash ~equal () =
   Mutex.lock registry_lock;
   registry := !registry @ [ (name, (fun () -> stats cache), fun () -> clear cache) ];
   Mutex.unlock registry_lock;
+  (* The unified counter registry reads the shard atomics through probes:
+     the shards keep their per-shard layout (contention), the registry
+     gains one place every layer's counters are read from. *)
+  List.iter
+    (fun (suffix, view) ->
+      Trace.Counter.register_probe
+        (Printf.sprintf "memo.%s.%s" name suffix)
+        (fun () -> view (stats cache)))
+    [ ("hits", fun s -> s.hits); ("misses", fun s -> s.misses);
+      ("evictions", fun s -> s.evictions); ("entries", fun s -> s.entries) ];
   cache
 
 let find_or_add cache key compute =

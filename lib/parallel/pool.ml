@@ -91,6 +91,9 @@ let map pool f xs =
       let chunk = max 1 ((n + (pool.jobs * 4) - 1) / (pool.jobs * 4)) in
       let run_chunk lo =
         let hi = min n (lo + chunk) in
+        Trace.with_span ~name:"pool.chunk"
+          ~args:[ ("items", string_of_int (hi - lo)) ]
+        @@ fun () ->
         for i = lo to hi - 1 do
           match f items.(i) with
           | result -> progress.results.(i) <- Some result
@@ -142,14 +145,13 @@ let map pool f xs =
     end
   end
 
+(* GENSOR_JOBS is validated, not trusted: zero/negative widths clamp to 1
+   and garbage falls back to the machine default, each with a one-time
+   stderr warning (Trace.Env) — a typo'd width must never surface as a
+   failure deep inside a domain spawn. *)
 let default_jobs () =
   let fallback = max 1 (Domain.recommended_domain_count () - 1) in
-  match Sys.getenv_opt "GENSOR_JOBS" with
-  | None -> fallback
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some j when j >= 1 -> j
-    | Some _ | None -> fallback)
+  Trace.Env.int ~min:1 ~default:fallback "GENSOR_JOBS"
 
 (* Shared pools, one per requested width, created lazily.  Workers idle on a
    condition variable between maps, so keeping them alive is free. *)
@@ -172,5 +174,10 @@ let get ?jobs () =
 
 let map_auto ?jobs f xs =
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  Trace.with_span ~name:"pool.map"
+    ~args:
+      [ ("items", string_of_int (List.length xs));
+        ("jobs", string_of_int jobs) ]
+  @@ fun () ->
   if jobs = 1 || Domain.DLS.get in_worker then sequential_map f xs
   else map (get ~jobs ()) f xs

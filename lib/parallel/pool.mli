@@ -31,7 +31,10 @@ val shutdown : t -> unit
 
 (** Parallelism width requested by the environment: [GENSOR_JOBS] when set
     to a positive integer, otherwise [Domain.recommended_domain_count () - 1]
-    floored at 1. *)
+    floored at 1.  Invalid values degrade loudly instead of misbehaving:
+    zero or negative widths clamp to 1 and unparseable values fall back to
+    the machine default, each after a one-time warning on stderr (see
+    {!Trace.Env}). *)
 val default_jobs : unit -> int
 
 (** [get ?jobs ()] is the shared process-wide pool of the given width

@@ -27,11 +27,17 @@ let simulated_opt_time output =
    diagnostic means the method shipped an illegal schedule into the
    comparison and raises immediately.  Opt in with GENSOR_VERIFY=1 (any
    value but "0"/"false") or programmatically via [debug_verify]. *)
-let debug_verify =
-  ref
-    (match Sys.getenv_opt "GENSOR_VERIFY" with
-    | None | Some ("" | "0" | "false") -> false
-    | Some _ -> true)
+let debug_verify = ref (Trace.Env.bool ~default:false "GENSOR_VERIFY")
+
+(* Per-method compile arm: one span per (method, op, device) cell so the
+   trace shows where a sweep's time goes method by method. *)
+let traced ~method_name compile ~hw op =
+  Trace.with_span ~name:"method.compile"
+    ~args:
+      [ ("device", Hardware.Gpu_spec.name hw);
+        ("method", method_name);
+        ("op", Ops.Op.name op) ]
+    (fun () -> compile ~hw op)
 
 let verified ~method_name ~hw op output =
   if !debug_verify then begin
@@ -47,7 +53,7 @@ let verified ~method_name ~hw op output =
 let gensor ?(config = Gensor.Optimizer.default_config) ?(name = "Gensor") () =
   { name;
     compile =
-      (fun ~hw op ->
+      traced ~method_name:name (fun ~hw op ->
         let r = Gensor.Optimizer.optimize ~config ~hw (Ops.Op.compute op) in
         verified ~method_name:name ~hw op
           { etir = r.Gensor.Optimizer.etir;
@@ -73,7 +79,7 @@ let gensor_tree_only () =
 let roller () =
   { name = "Roller";
     compile =
-      (fun ~hw op ->
+      traced ~method_name:"Roller" (fun ~hw op ->
         let r = Roller.construct ~hw (Ops.Op.compute op) in
         verified ~method_name:"Roller" ~hw op
           { etir = r.Roller.etir;
@@ -86,7 +92,7 @@ let roller () =
 let ansor ?(n_trials = Ansor.Search.default_config.Ansor.Search.n_trials) () =
   { name = "Ansor";
     compile =
-      (fun ~hw op ->
+      traced ~method_name:"Ansor" (fun ~hw op ->
         let config = { Ansor.Search.default_config with n_trials } in
         let r = Ansor.Search.search ~config ~hw (Ops.Op.compute op) in
         verified ~method_name:"Ansor" ~hw op
@@ -100,7 +106,7 @@ let ansor ?(n_trials = Ansor.Search.default_config.Ansor.Search.n_trials) () =
 let cublas () =
   { name = "cuBLAS";
     compile =
-      (fun ~hw op ->
+      traced ~method_name:"cuBLAS" (fun ~hw op ->
         let r = Vendor.Cublas.compile ~hw op in
         verified ~method_name:"cuBLAS" ~hw op
           { etir = r.Vendor.Cublas.etir;
@@ -150,6 +156,9 @@ let sweep ?jobs ~devices ~methods ops =
           ops)
       devices
   in
+  Trace.with_span ~name:"pipeline.sweep"
+    ~args:[ ("cells", string_of_int (List.length cells)) ]
+  @@ fun () ->
   Parallel.Pool.map_auto ?jobs
     (fun (hw, label, op, method_) ->
       { cell_device = hw;

@@ -11,13 +11,28 @@ let v ~headers rows =
     rows;
   { headers; rows }
 
+(* Column widths are display widths, not byte counts: cells routinely carry
+   multibyte UTF-8 glyphs (×, ≈, ≪ in the experiment tables), and measuring
+   bytes misaligns every row containing one.  Width = number of decoded
+   scalar values; malformed bytes decode as U+FFFD, one column each, so a
+   non-UTF-8 cell degrades to the old byte count instead of raising. *)
+let display_width s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let d = String.get_utf_8_uchar s i in
+      go (i + Uchar.utf_decode_length d) (acc + 1)
+  in
+  go 0 0
+
 let widths t =
-  let init = List.map String.length t.headers in
+  let init = List.map display_width t.headers in
   List.fold_left
-    (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+    (fun acc row -> List.map2 (fun w cell -> max w (display_width cell)) acc row)
     init t.rows
 
-let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+let pad width s = s ^ String.make (max 0 (width - display_width s)) ' '
 
 let render t =
   let ws = widths t in

@@ -8,6 +8,11 @@ val v : headers:string list -> string list list -> t
 val render : t -> string
 val print : t -> unit
 
+(** Display width of a cell: the number of UTF-8 scalar values, so
+    multibyte glyphs (×, ≈, ≪) count one column each.  Exposed for the
+    report layer's other aligners and the test suite. *)
+val display_width : string -> int
+
 (** Cell formatting helpers: 2/3 decimals, percentage, relative factor. *)
 
 val fx2 : float -> string

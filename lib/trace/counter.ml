@@ -1,0 +1,53 @@
+(* Registry of owned atomic counters plus read-only probes.  The registry
+   tables are touched on creation/snapshot only; the hot path is a plain
+   [Atomic.incr] on a counter the caller holds, so instrumented layers pay
+   exactly what their old hand-rolled atomics cost. *)
+
+type t = { name : string; cell : int Atomic.t }
+
+let lock = Mutex.create ()
+let owned : (string, t) Hashtbl.t = Hashtbl.create 32
+let probes : (string, unit -> int) Hashtbl.t = Hashtbl.create 32
+
+let make name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt owned name with
+    | Some c -> c
+    | None ->
+      let c = { name; cell = Atomic.make 0 } in
+      Hashtbl.add owned name c;
+      c
+  in
+  Mutex.unlock lock;
+  c
+
+let incr c = Atomic.incr c.cell
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let set c n = Atomic.set c.cell n
+let get c = Atomic.get c.cell
+let name c = c.name
+
+let register_probe name f =
+  Mutex.lock lock;
+  Hashtbl.replace probes name f;
+  Mutex.unlock lock
+
+let snapshot () =
+  Mutex.lock lock;
+  let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter (fun name c -> Hashtbl.replace table name (Atomic.get c.cell)) owned;
+  let probe_list = Hashtbl.fold (fun name f acc -> (name, f) :: acc) probes [] in
+  Mutex.unlock lock;
+  (* Probes run outside the registry lock: they may take their own layer's
+     locks (e.g. memo shard aggregation) and must not nest under ours. *)
+  List.iter (fun (name, f) -> Hashtbl.replace table name (f ())) probe_list;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find key = List.assoc_opt key (snapshot ())
+
+let reset_owned () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) owned;
+  Mutex.unlock lock

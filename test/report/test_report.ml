@@ -1,0 +1,69 @@
+(* Table rendering: column widths must be display widths, not byte counts.
+   The experiment tables routinely carry multibyte UTF-8 glyphs (speedup
+   cells like "1.25×"), and the byte-count widths this regression pins down
+   used to misalign every row containing one. *)
+
+let check_int = Alcotest.(check int)
+
+let test_display_width () =
+  check_int "ascii" 5 (Report.Table.display_width "1.25x");
+  (* × is 2 bytes but one column. *)
+  check_int "multiplication sign" 5 (Report.Table.display_width "1.25×");
+  check_int "approx and much-less" 2 (Report.Table.display_width "≈≪");
+  check_int "empty" 0 (Report.Table.display_width "");
+  (* Malformed bytes decode as one replacement scalar each, so a non-UTF-8
+     cell degrades to the old byte count instead of raising. *)
+  check_int "lone continuation byte" 1 (Report.Table.display_width "\xff");
+  check_int "truncated sequence" 2 (Report.Table.display_width "\xc3\x97\xc3")
+
+(* Every rendered line of a table with a ×-bearing cell has the same
+   display width — the alignment property the byte-count widths broke. *)
+let test_utf8_cell_alignment () =
+  let t =
+    Report.Table.v
+      ~headers:[ "method"; "speedup" ]
+      [
+        [ "gensor"; "1.25×" ];
+        [ "roller"; "0.98×" ];
+        [ "ansor (plain ascii)"; "1.00x" ];
+      ]
+  in
+  let lines = String.split_on_char '\n' (Report.Table.render t) in
+  match List.map Report.Table.display_width lines with
+  | [] -> Alcotest.fail "empty render"
+  | w :: rest ->
+    List.iteri
+      (fun i w' -> check_int (Fmt.str "line %d width" (i + 1)) w w')
+      rest;
+    (* The × cell padded to the ascii cell's width: every data row's
+       column boundary sits at the same display column (byte offsets
+       differ on the ×-bearing rows — that is the point). *)
+    let boundary_col line =
+      match String.rindex_opt line '|' with
+      | None -> None (* separator rows *)
+      | Some i -> Some (Report.Table.display_width (String.sub line 0 i))
+    in
+    (match List.filter_map boundary_col lines with
+    | [] -> Alcotest.fail "no data rows"
+    | c :: cs ->
+      List.iter (fun c' -> check_int "closing column" c c') cs)
+
+let test_ascii_tables_unchanged () =
+  (* Pure-ascii rendering is byte-for-byte what it always was. *)
+  let t = Report.Table.v ~headers:[ "a"; "bb" ] [ [ "ccc"; "d" ] ] in
+  Alcotest.(check string) "render"
+    "+-----+----+\n| a   | bb |\n+-----+----+\n| ccc | d  |\n+-----+----+"
+    (Report.Table.render t)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "display_width" `Quick test_display_width;
+          Alcotest.test_case "utf8 cell alignment" `Quick
+            test_utf8_cell_alignment;
+          Alcotest.test_case "ascii unchanged" `Quick
+            test_ascii_tables_unchanged;
+        ] );
+    ]
