@@ -267,8 +267,31 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let format_arg =
+  let doc =
+    "Output format: $(b,text) (the default report), $(b,json) (compact \
+     per-target JSON) or $(b,sarif) (SARIF 2.1.0 with the stable \
+     diagnostic codes as rule ids)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format"; "f" ] ~docv:"FORMAT" ~doc)
+
+let out_arg =
+  let doc = "Write the json/sarif document to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let write_out out doc =
+  match out with
+  | None -> print_string doc
+  | Some path ->
+    Out_channel.with_open_bin path (fun oc -> output_string oc doc);
+    Fmt.pr "wrote %s@." path
+
 let verify_cmd =
-  let run device methods_csv op_filter verbose jobs no_incremental trace =
+  let run device methods_csv op_filter format out verbose jobs no_incremental
+      trace =
     apply_incremental no_incremental;
     apply_trace trace;
     let devices =
@@ -306,12 +329,19 @@ let verify_cmd =
       in
       let cells = Pipeline.Methods.sweep ?jobs ~devices ~methods ops in
       let total_errors = ref 0 and total_warnings = ref 0 in
+      let items = ref [] in
       let rows =
         List.map
           (fun cell ->
             let open Pipeline.Methods in
             let hw = cell.cell_device in
             let diags = Verify.run cell.cell_output.etir ~hw in
+            let target =
+              Fmt.str "%s/%s/%s"
+                (Hardware.Gpu_spec.name hw)
+                cell.cell_label cell.cell_method
+            in
+            items := Verify.Export.item ~target diags :: !items;
             let errors =
               Verify.Diagnostic.count Verify.Diagnostic.Error diags
             in
@@ -320,26 +350,32 @@ let verify_cmd =
             in
             total_errors := !total_errors + errors;
             total_warnings := !total_warnings + warnings;
-            List.iter
-              (fun d ->
-                let open Verify.Diagnostic in
-                if is_error d || verbose then
-                  Fmt.pr "%s/%s/%s %a@."
-                    (Hardware.Gpu_spec.name hw)
-                    cell.cell_label cell.cell_method pp d)
-              (Verify.Diagnostic.by_severity diags);
+            if format = `Text then
+              List.iter
+                (fun d ->
+                  let open Verify.Diagnostic in
+                  if is_error d || verbose then
+                    Fmt.pr "%s/%s/%s %a@."
+                      (Hardware.Gpu_spec.name hw)
+                      cell.cell_label cell.cell_method pp d)
+                (Verify.Diagnostic.by_severity diags);
             [ Hardware.Gpu_spec.name hw; cell.cell_label; cell.cell_method;
               string_of_int errors; string_of_int warnings;
               (if errors > 0 then "ILLEGAL" else "ok") ])
           cells
       in
-      Report.Table.print
-        (Report.Table.v
-           ~headers:[ "device"; "op"; "method"; "errors"; "warnings"; "verdict" ]
-           rows);
-      Fmt.pr "@.verified %d schedules: %d error(s), %d warning(s)@."
-        (List.length rows) !total_errors !total_warnings;
-      Fmt.pr "%a@." Pipeline.Methods.pp_cache_stats ();
+      (match format with
+      | `Text ->
+        Report.Table.print
+          (Report.Table.v
+             ~headers:
+               [ "device"; "op"; "method"; "errors"; "warnings"; "verdict" ]
+             rows);
+        Fmt.pr "@.verified %d schedules: %d error(s), %d warning(s)@."
+          (List.length rows) !total_errors !total_warnings;
+        Fmt.pr "%a@." Pipeline.Methods.pp_cache_stats ()
+      | `Json -> write_out out (Verify.Export.json (List.rev !items))
+      | `Sarif -> write_out out (Verify.Export.sarif (List.rev !items)));
       report_trace ();
       if !total_errors > 0 then
         `Error (false, "error-severity diagnostics found")
@@ -353,7 +389,212 @@ let verify_cmd =
     Term.(
       ret
         (const run $ verify_device_arg $ verify_methods_arg $ verify_op_arg
-       $ verbose_arg $ jobs_arg $ no_incremental_arg $ trace_arg))
+       $ format_arg $ out_arg $ verbose_arg $ jobs_arg $ no_incremental_arg
+       $ trace_arg))
+
+(* ---------- analyze ---------- *)
+
+let analyze_dynamic_arg =
+  let doc =
+    "Also certify the BERT-small dynamic-shape bucket set: each operator \
+     family's largest sequence length is certified and the smaller buckets \
+     are checked against its region."
+  in
+  Arg.(value & flag & info [ "dynamic" ] ~doc)
+
+(* Certify the BERT bucket family on one device: group the bucket models'
+   operators by layer role, certify the gensor schedule at each role's
+   largest shape, then check every smaller bucket shape against the
+   resulting region — the static side of what {!Dnn.Kernel_cache.dispatch}
+   enforces at run time. *)
+let analyze_bert ~hw (method_ : Pipeline.Methods.t) ~batch ~seqs =
+  let models =
+    List.map (fun seq -> (seq, Dnn.Transformer.bert_small ~batch ~seq ())) seqs
+  in
+  let roles : (string, (int * Ops.Op.t) list) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (seq, model) ->
+      List.iter
+        (fun layer ->
+          let key = layer.Dnn.Model.layer_name in
+          (match Hashtbl.find_opt roles key with
+          | None ->
+            order := key :: !order;
+            Hashtbl.add roles key [ (seq, layer.Dnn.Model.op) ]
+          | Some existing ->
+            Hashtbl.replace roles key ((seq, layer.Dnn.Model.op) :: existing)))
+        (Dnn.Model.layers model))
+    models;
+  List.map
+    (fun role ->
+      let entries =
+        List.sort (fun (a, _) (b, _) -> compare b a) (Hashtbl.find roles role)
+      in
+      let (_, witness_op), rest = (List.hd entries, List.tl entries) in
+      let output = method_.Pipeline.Methods.compile ~hw witness_op in
+      let outcome =
+        Verify.Cert.certify ~hw output.Pipeline.Methods.etir
+      in
+      let target =
+        Fmt.str "%s/bert-small/%s/%s" (Hardware.Gpu_spec.name hw) role
+          method_.Pipeline.Methods.name
+      in
+      let coverage =
+        match outcome.Verify.Cert.cert with
+        | None -> []
+        | Some cert ->
+          List.filter_map
+            (fun (seq, op) ->
+              match
+                Verify.Cert.admits_compute cert (Ops.Op.compute op)
+              with
+              | Ok () -> None
+              | Error m ->
+                Some
+                  (Verify.Diagnostic.v ~code:"GSR-C03"
+                     Verify.Diagnostic.Warning Verify.Diagnostic.Cert
+                     ~loc:(Fmt.str "bucket seq=%d" seq)
+                     "bucket shape is outside the certified region (%s): \
+                      dispatch would refuse it" m))
+            rest
+      in
+      let region =
+        Option.map
+          (Fmt.str "%a" Verify.Cert.pp_region)
+          outcome.Verify.Cert.cert
+      in
+      Verify.Export.item ?region ~target
+        (outcome.Verify.Cert.diags @ coverage))
+    (List.rev !order)
+
+let analyze_cmd =
+  let run device methods_csv op_filter format out dynamic verbose jobs
+      no_incremental trace =
+    apply_incremental no_incremental;
+    apply_trace trace;
+    let devices =
+      if String.lowercase_ascii device = "all" then Ok Hardware.Presets.all
+      else Result.map (fun hw -> [ hw ]) (resolve_device device)
+    in
+    let methods =
+      List.fold_right
+        (fun name acc ->
+          Result.bind acc (fun ms ->
+              Result.map (fun m -> m :: ms) (resolve_method name)))
+        (String.split_on_char ',' methods_csv)
+        (Ok [])
+    in
+    let entries =
+      match op_filter with
+      | None -> Ok Workloads.Table_iv.all
+      | Some label -> (
+        match Workloads.Table_iv.find label with
+        | Some e -> Ok [ e ]
+        | None -> Error (`Msg (Fmt.str "unknown workload %s" label)))
+    in
+    match (devices, methods, entries) with
+    | Error (`Msg m), _, _ | _, Error (`Msg m), _ | _, _, Error (`Msg m) ->
+      `Error (false, m)
+    | Ok devices, Ok methods, Ok entries ->
+      let ops =
+        List.map
+          (fun entry ->
+            (entry.Workloads.Table_iv.label, entry.Workloads.Table_iv.op ()))
+          entries
+      in
+      let cells = Pipeline.Methods.sweep ?jobs ~devices ~methods ops in
+      let sweep_items =
+        List.map
+          (fun cell ->
+            let open Pipeline.Methods in
+            let hw = cell.cell_device in
+            let outcome = Verify.Cert.certify ~hw cell.cell_output.etir in
+            let target =
+              Fmt.str "%s/%s/%s"
+                (Hardware.Gpu_spec.name hw)
+                cell.cell_label cell.cell_method
+            in
+            let region =
+              Option.map
+                (Fmt.str "%a" Verify.Cert.pp_region)
+                outcome.Verify.Cert.cert
+            in
+            Verify.Export.item ?region ~target outcome.Verify.Cert.diags)
+          cells
+      in
+      let dynamic_items =
+        if not dynamic then []
+        else
+          List.concat_map
+            (fun hw ->
+              List.concat_map
+                (fun m -> analyze_bert ~hw m ~batch:8 ~seqs:[ 64; 128; 192; 256 ])
+                methods)
+            devices
+      in
+      let items = sweep_items @ dynamic_items in
+      let total_errors =
+        List.fold_left
+          (fun acc it ->
+            acc
+            + Verify.Diagnostic.count Verify.Diagnostic.Error
+                it.Verify.Export.diags)
+          0 items
+      in
+      (match format with
+      | `Text ->
+        let certified = ref 0 in
+        let rows =
+          List.map
+            (fun it ->
+              let open Verify.Export in
+              let errors =
+                Verify.Diagnostic.count Verify.Diagnostic.Error it.diags
+              in
+              let warnings =
+                Verify.Diagnostic.count Verify.Diagnostic.Warning it.diags
+              in
+              if it.region <> None then incr certified;
+              List.iter
+                (fun d ->
+                  if Verify.Diagnostic.is_error d || verbose then
+                    Fmt.pr "%s %a@." it.target Verify.Diagnostic.pp_coded d)
+                (Verify.Diagnostic.by_severity it.diags);
+              [ it.target;
+                Option.value it.region ~default:"-";
+                string_of_int errors; string_of_int warnings;
+                (if it.region = None then "REFUSED"
+                 else if errors > 0 then "INVALID"
+                 else "certified") ])
+            items
+        in
+        Report.Table.print
+          (Report.Table.v
+             ~headers:[ "target"; "region"; "errors"; "warnings"; "verdict" ]
+             rows);
+        Fmt.pr "@.analyzed %d schedules: %d certified, %d error(s)@."
+          (List.length items) !certified total_errors
+      | `Json -> write_out out (Verify.Export.json items)
+      | `Sarif -> write_out out (Verify.Export.sarif items));
+      report_trace ();
+      if total_errors > 0 then
+        `Error (false, "certification failed with error-severity diagnostics")
+      else `Ok ()
+  in
+  let doc =
+    "Certify shape-parametric legality: run the symbolic \
+     abstract-interpretation tier over every schedule the selected methods \
+     produce and report each one's certified shape region, guard \
+     obligations and refusals (optionally also the BERT dynamic-shape \
+     bucket set)."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      ret
+        (const run $ verify_device_arg $ verify_methods_arg $ verify_op_arg
+       $ format_arg $ out_arg $ analyze_dynamic_arg $ verbose_arg $ jobs_arg
+       $ no_incremental_arg $ trace_arg))
 
 (* ---------- bench ---------- *)
 
@@ -934,4 +1175,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; ops_cmd; model_cmd; devices_cmd; verify_cmd;
+            analyze_cmd;
             bench_cmd; cache_cmd; trace_cmd ]))

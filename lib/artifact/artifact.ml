@@ -11,6 +11,7 @@ module Etir_codec = Etir_codec
 module Metrics_codec = Metrics_codec
 module Gpu_codec = Gpu_codec
 module Verify_codec = Verify_codec
+module Cert_codec = Cert_codec
 module Record = Record
 module Store = Store
 include Record

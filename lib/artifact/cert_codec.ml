@@ -1,0 +1,118 @@
+(* Text codec for {!Verify.Cert.t} — the shape-region legality certificate
+   an artifact can carry next to its schedule.
+
+   Affine forms travel as [<const> <nterms> (<coeff> <name>)*]; symbol
+   names are quoted (axis names are free text), codes and numbers are
+   atoms.  Decoding rebuilds canonical forms through the {!Cert.Affine}
+   constructors, so a round-tripped certificate is structurally equal to
+   the original. *)
+
+open Verify
+module Affine = Cert.Affine
+
+let ( let* ) = Result.bind
+
+let encode_affine a =
+  let syms = Affine.syms a in
+  Fmt.str "%d %d%s" (Affine.offset a) (List.length syms)
+    (String.concat ""
+       (List.map
+          (fun s -> Fmt.str " %d %s" (Affine.coeff a s) (Codec.quote s))
+          syms))
+
+let rec decode_terms ~line toks n acc =
+  if n <= 0 then Ok (acc, toks)
+  else
+    let* coeff, toks = Codec.take_int ~line toks in
+    let* name, toks = Codec.take_str ~line toks in
+    decode_terms ~line toks (n - 1)
+      (Affine.add acc (Affine.sym ~coeff name))
+
+let decode_affine ~line toks =
+  let* const, toks = Codec.take_int ~line toks in
+  let* n, toks = Codec.take_int ~line toks in
+  let* () =
+    if n >= 0 && n <= 1_000 then Ok ()
+    else Codec.error line "implausible term count %d" n
+  in
+  decode_terms ~line toks n (Affine.const const)
+
+let rec times n f acc =
+  if n <= 0 then Ok (List.rev acc)
+  else
+    let* x = f () in
+    times (n - 1) f (x :: acc)
+
+let counted cur key decode_one =
+  let start = Codec.lineno cur in
+  let* n = Codec.field_int cur key in
+  let* () =
+    if n >= 0 && n <= 10_000 then Ok ()
+    else Codec.error start "implausible %s count %d" key n
+  in
+  times n (fun () -> decode_one cur) []
+
+let encode (c : Cert.t) =
+  [ Fmt.str "cert_device %s" (Codec.quote c.Cert.device);
+    Fmt.str "cert_sig %s" (Codec.quote c.Cert.witness_sig);
+    Fmt.str "cert_syms %d" (List.length c.Cert.syms) ]
+  @ List.map
+      (fun (s, r) ->
+        Fmt.str "sym %s %d %d" (Codec.quote s) (Tensor_lang.Interval.lo r)
+          (Tensor_lang.Interval.hi r))
+      c.Cert.syms
+  @ [ Fmt.str "cert_constraints %d" (List.length c.Cert.constraints) ]
+  @ List.map
+      (fun (k : Cert.constr) ->
+        Fmt.str "constr %s %s" (encode_affine k.Cert.lhs)
+          (encode_affine k.Cert.rhs))
+      c.Cert.constraints
+  @ [ Fmt.str "cert_guards %d" (List.length c.Cert.guards) ]
+  @ List.map
+      (fun (g : Cert.guard) ->
+        Fmt.str "guard %d %s" g.Cert.divisor (Codec.quote g.Cert.g_sym))
+      c.Cert.guards
+  @ [ Fmt.str "cert_witness %d" (List.length c.Cert.witness) ]
+  @ List.map
+      (fun (n, e) -> Fmt.str "wit %s %d" (Codec.quote n) e)
+      c.Cert.witness
+
+let decode cur =
+  let* device = Codec.field_str cur "cert_device" in
+  let* witness_sig = Codec.field_str cur "cert_sig" in
+  let* syms =
+    counted cur "cert_syms" (fun cur ->
+        let* ln, toks = Codec.field cur "sym" in
+        let* name, toks = Codec.take_str ~line:ln toks in
+        let* lo, toks = Codec.take_int ~line:ln toks in
+        let* hi, toks = Codec.take_int ~line:ln toks in
+        let* () = Codec.finish ~line:ln toks in
+        if lo > hi then Codec.error ln "empty range for symbol %s" name
+        else Ok (name, Tensor_lang.Interval.v lo hi))
+  in
+  let* constraints =
+    counted cur "cert_constraints" (fun cur ->
+        let* ln, toks = Codec.field cur "constr" in
+        let* lhs, toks = decode_affine ~line:ln toks in
+        let* rhs, toks = decode_affine ~line:ln toks in
+        let* () = Codec.finish ~line:ln toks in
+        Ok { Cert.lhs; rhs })
+  in
+  let* guards =
+    counted cur "cert_guards" (fun cur ->
+        let* ln, toks = Codec.field cur "guard" in
+        let* divisor, toks = Codec.take_int ~line:ln toks in
+        let* g_sym, toks = Codec.take_str ~line:ln toks in
+        let* () = Codec.finish ~line:ln toks in
+        if divisor <= 0 then Codec.error ln "non-positive guard divisor"
+        else Ok { Cert.divisor; g_sym })
+  in
+  let* witness =
+    counted cur "cert_witness" (fun cur ->
+        let* ln, toks = Codec.field cur "wit" in
+        let* name, toks = Codec.take_str ~line:ln toks in
+        let* extent, toks = Codec.take_int ~line:ln toks in
+        let* () = Codec.finish ~line:ln toks in
+        Ok (name, extent))
+  in
+  Ok { Cert.device; syms; constraints; guards; witness; witness_sig }

@@ -224,7 +224,7 @@ let sexp_of_tokens ~line toks =
 (* ---------- framing ---------- *)
 
 let magic = "gensor-artifact"
-let version = 1
+let version = 2
 
 let checksum payload = Digest.to_hex (Digest.string payload)
 

@@ -22,15 +22,16 @@ type t = {
   etir : Sched.Etir.t;
   metrics : Costmodel.Metrics.t;
   verify : verify_status;
+  cert : Verify.Cert.t option;
 }
 
-let v ~method_name ?seed ?(steps = 0) ?verify ~device ~etir ~metrics () =
+let v ~method_name ?seed ?(steps = 0) ?verify ?cert ~device ~etir ~metrics () =
   let verify =
     match verify with None -> Not_verified | Some ds -> Verified ds
   in
   { method_name; seed; steps; device;
     device_fingerprint = Gpu_codec.fingerprint device;
-    compute = Sched.Etir.compute etir; etir; metrics; verify }
+    compute = Sched.Etir.compute etir; etir; metrics; verify; cert }
 
 let compute_fingerprint t = Compute_codec.fingerprint t.compute
 
@@ -59,6 +60,9 @@ let payload_lines t =
   @ (match t.verify with
     | Not_verified -> [ "verify none" ]
     | Verified ds -> "verify run" :: Verify_codec.encode ds)
+  @ (match t.cert with
+    | None -> [ "cert none" ]
+    | Some c -> "cert some" :: Cert_codec.encode c)
 
 let encode t = Codec.frame (String.concat "\n" (payload_lines t) ^ "\n")
 
@@ -102,10 +106,22 @@ let decode text =
       Ok (Verified ds)
     | other -> Codec.error vln "unknown verify status %S" other
   in
+  let* cln, ctoks = Codec.field cur "cert" in
+  let* ctag, rest = Codec.take_atom ~line:cln ctoks in
+  let* () = Codec.finish ~line:cln rest in
+  let* cert =
+    match ctag with
+    | "none" -> Ok None
+    | "some" ->
+      let* c = Cert_codec.decode cur in
+      Ok (Some c)
+    | other -> Codec.error cln "unknown cert status %S" other
+  in
   if Codec.at_end cur then
     Ok
       { method_name; seed; steps; device;
-        device_fingerprint = claimed_fp; compute; etir; metrics; verify }
+        device_fingerprint = claimed_fp; compute; etir; metrics; verify;
+        cert }
   else Codec.error (Codec.lineno cur) "trailing content after artifact body"
 
 let pp_summary ppf t =

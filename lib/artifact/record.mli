@@ -20,6 +20,8 @@ type t = {
   etir : Sched.Etir.t;
   metrics : Costmodel.Metrics.t;
   verify : verify_status;
+  cert : Verify.Cert.t option;
+      (** shape-region legality certificate, when certification ran *)
 }
 
 (** [v ~method_name ~device ~etir ~metrics ()] builds an artifact; the
@@ -29,6 +31,7 @@ val v :
   ?seed:int ->
   ?steps:int ->
   ?verify:Verify.Diagnostic.t list ->
+  ?cert:Verify.Cert.t ->
   device:Hardware.Gpu_spec.t ->
   etir:Sched.Etir.t ->
   metrics:Costmodel.Metrics.t ->

@@ -1,6 +1,7 @@
 (* Text codec for {!Verify.Diagnostic.t} lists — the verify status an
    artifact carries.  Locations and messages are arbitrary human text, so
-   both travel as quoted strings. *)
+   both travel as quoted strings; the stable diagnostic code travels as an
+   atom (codes are machine identifiers, never free text). *)
 
 open Verify
 
@@ -9,23 +10,21 @@ let ( let* ) = Result.bind
 let severity_atom = Diagnostic.severity_to_string
 let pass_atom = Diagnostic.pass_to_string
 
-let severity_of_atom ~line = function
-  | "error" -> Ok Diagnostic.Error
-  | "warning" -> Ok Diagnostic.Warning
-  | "info" -> Ok Diagnostic.Info
-  | other -> Codec.error line "unknown severity %S" other
+let severity_of_atom ~line atom =
+  match Diagnostic.severity_of_string atom with
+  | Some s -> Ok s
+  | None -> Codec.error line "unknown severity %S" atom
 
-let pass_of_atom ~line = function
-  | "bounds" -> Ok Diagnostic.Bounds
-  | "race" -> Ok Diagnostic.Race
-  | "lint" -> Ok Diagnostic.Lint
-  | other -> Codec.error line "unknown pass %S" other
+let pass_of_atom ~line atom =
+  match Diagnostic.pass_of_string atom with
+  | Some p -> Ok p
+  | None -> Codec.error line "unknown pass %S" atom
 
 let encode (ds : Diagnostic.t list) =
   Fmt.str "diags %d" (List.length ds)
   :: List.map
        (fun (d : Diagnostic.t) ->
-         Fmt.str "diag %s %s %s %s" (severity_atom d.severity)
+         Fmt.str "diag %s %s %s %s %s" d.code (severity_atom d.severity)
            (pass_atom d.pass) (Codec.quote d.loc) (Codec.quote d.message))
        ds
 
@@ -45,6 +44,7 @@ let decode cur =
   times n
     (fun () ->
       let* ln, toks = Codec.field cur "diag" in
+      let* code, toks = Codec.take_atom ~line:ln toks in
       let* sev, toks = Codec.take_atom ~line:ln toks in
       let* severity = severity_of_atom ~line:ln sev in
       let* pa, toks = Codec.take_atom ~line:ln toks in
@@ -52,5 +52,5 @@ let decode cur =
       let* loc, toks = Codec.take_str ~line:ln toks in
       let* message, toks = Codec.take_str ~line:ln toks in
       let* () = Codec.finish ~line:ln toks in
-      Ok { Diagnostic.severity; pass; loc; message })
+      Ok { Diagnostic.code; severity; pass; loc; message })
     []

@@ -102,6 +102,63 @@ let bert_dietcode ?(buckets = 2) ?(trials_per_bucket = 100) ~hw ~batch ~seqs ()
         opt_sim_s = tuning_sim_s /. float_of_int (List.length seqs) })
     models
 
+(* Gensor with a certificate-gated kernel cache on the same bucket set:
+   the largest sequence length is constructed (and certified) first, then
+   every smaller one is dispatched through {!Kernel_cache.dispatch} — a
+   shape a certificate admits reuses the cached schedule retargeted, with
+   zero construction steps; a shape outside every certified region is
+   refused and pays its own construction (counters
+   [verify.cert.hit]/[verify.cert.reject]).  This is the enforcement side
+   of the legality certificates: a cached kernel is never dispatched
+   beyond the region it was proved legal on. *)
+let bert_gensor_certified ?(config = Gensor.Optimizer.default_config) ~hw
+    ~batch ~seqs () =
+  let cache = Kernel_cache.create ~config ~certify:true ~hw () in
+  let compile_shape seq =
+    let model = Transformer.bert_small ~batch ~seq () in
+    let steps_before =
+      (Kernel_cache.stats cache).Kernel_cache.construction_steps
+    in
+    let per_op : (string, Kernel_cache.entry) Hashtbl.t = Hashtbl.create 32 in
+    let entry_of op =
+      let key = Model.distinct_key op in
+      match Hashtbl.find_opt per_op key with
+      | Some entry -> entry
+      | None ->
+        let entry, _ = Kernel_cache.dispatch cache (Ops.Op.compute op) in
+        Hashtbl.add per_op key entry;
+        entry
+    in
+    let exec_time_s =
+      List.fold_left
+        (fun acc layer ->
+          let entry = entry_of layer.Model.op in
+          acc
+          +. (float_of_int layer.Model.count
+             *. entry.Kernel_cache.metrics.Costmodel.Metrics.exec_time_s))
+        0.0 (Model.layers model)
+    in
+    let steps_after =
+      (Kernel_cache.stats cache).Kernel_cache.construction_steps
+    in
+    { shape_label = Fmt.str "seq=%d" seq;
+      method_name = "Gensor (certified cache)";
+      exec_time_s;
+      throughput = float_of_int batch /. exec_time_s;
+      opt_sim_s =
+        Pipeline.Sim_time.simulated
+          ~analysis_steps:(steps_after - steps_before) ~measure_trials:0 () }
+  in
+  (* Descending visit order primes the cache at each family's largest
+     shape, whose certificate then covers the smaller ones. *)
+  let by_seq =
+    List.map
+      (fun seq -> (seq, compile_shape seq))
+      (List.sort_uniq (fun a b -> compare b a) seqs)
+  in
+  (List.map (fun seq -> List.assoc seq by_seq) seqs,
+   Kernel_cache.stats cache)
+
 (* Fig. 12: optimisation/inference timeline under dynamic channel widths. *)
 
 type phase = { width_mult : float; images : int }

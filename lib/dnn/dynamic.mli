@@ -30,6 +30,21 @@ val bert_dietcode :
   unit ->
   shape_report list
 
+(** Gensor served by a certificate-gated {!Kernel_cache}: the largest
+    sequence length per operator family is constructed and certified, then
+    smaller shapes are dispatched through {!Kernel_cache.dispatch} — an
+    admitted shape reuses the cached schedule retargeted (zero
+    construction), a refused shape pays its own construction.  Also
+    returns the cache stats so callers can inspect
+    [cert_hits]/[cert_rejects]. *)
+val bert_gensor_certified :
+  ?config:Gensor.Optimizer.config ->
+  hw:Hardware.Gpu_spec.t ->
+  batch:int ->
+  seqs:int list ->
+  unit ->
+  shape_report list * Kernel_cache.stats
+
 type phase = { width_mult : float; images : int }
 type segment = { phase_label : string; opt_s : float; infer_s : float }
 

@@ -24,12 +24,15 @@ type entry = {
   compute : Compute.t;
   etir : Sched.Etir.t;
   metrics : Costmodel.Metrics.t;
+  cert : Verify.Cert.t option;
 }
 
-type lookup = Hit | Warm_miss | Cold_miss
+type lookup = Hit | Cert_hit | Warm_miss | Cold_miss
 
 type stats = {
   hits : int;
+  cert_hits : int;
+  cert_rejects : int;
   warm_misses : int;
   cold_misses : int;
   construction_steps : int;
@@ -40,6 +43,8 @@ type stats = {
 (* Internal mutable counters; {!stats} snapshots them. *)
 type counters = {
   mutable c_hits : int;
+  mutable c_cert_hits : int;
+  mutable c_cert_rejects : int;
   mutable c_warm_misses : int;
   mutable c_cold_misses : int;
   mutable c_construction_steps : int;
@@ -59,9 +64,16 @@ let c_cold_misses = Trace.Counter.make "kcache.cold_misses"
 let c_store_hits = Trace.Counter.make "kcache.store_hits"
 let c_store_writes = Trace.Counter.make "kcache.store_writes"
 
+(* Certificate-gated dispatch outcomes.  These live in the [verify.*]
+   namespace: they measure the legality certificates doing their job at the
+   cache boundary, not cache mechanics. *)
+let c_cert_hits = Trace.Counter.make "verify.cert.hit"
+let c_cert_rejects = Trace.Counter.make "verify.cert.reject"
+
 type t = {
   hw : Hardware.Gpu_spec.t;
   config : Gensor.Optimizer.config;
+  certify : bool;
   entries : (string, entry) Hashtbl.t;            (* exact shape key *)
   families : (string, entry list ref) Hashtbl.t;  (* structural key *)
   counters : counters;
@@ -126,17 +138,21 @@ let preload t store =
       then begin
         let key =
           remember t
-            { compute = r.compute; etir = r.etir; metrics = r.metrics }
+            { compute = r.compute; etir = r.etir; metrics = r.metrics;
+              cert = r.cert }
         in
         Hashtbl.replace t.preloaded key ()
       end)
     (Artifact.Store.entries store)
 
-let create ?(config = Gensor.Optimizer.default_config) ?store ~hw () =
+let create ?(config = Gensor.Optimizer.default_config) ?(certify = false)
+    ?store ~hw () =
   let t =
-    { hw; config; entries = Hashtbl.create 64; families = Hashtbl.create 16;
+    { hw; config; certify;
+      entries = Hashtbl.create 64; families = Hashtbl.create 16;
       counters =
-        { c_hits = 0; c_warm_misses = 0; c_cold_misses = 0;
+        { c_hits = 0; c_cert_hits = 0; c_cert_rejects = 0;
+          c_warm_misses = 0; c_cold_misses = 0;
           c_construction_steps = 0; c_store_hits = 0; c_store_writes = 0 };
       store; device_fp = Artifact.Gpu_codec.fingerprint hw;
       preloaded = Hashtbl.create 16 }
@@ -171,7 +187,8 @@ let write_through t entry ~steps =
   | Some store ->
     let r =
       Artifact.Record.v ~method_name ~seed:t.config.Gensor.Optimizer.seed
-        ~steps ~device:t.hw ~etir:entry.etir ~metrics:entry.metrics ()
+        ~steps ?cert:entry.cert ~device:t.hw ~etir:entry.etir
+        ~metrics:entry.metrics ()
     in
     ignore (Artifact.Store.put store r : string);
     t.counters.c_store_writes <- t.counters.c_store_writes + 1;
@@ -209,17 +226,65 @@ let compile t compute =
       Trace.Counter.incr c_cold_misses);
     t.counters.c_construction_steps <-
       t.counters.c_construction_steps + result.Gensor.Optimizer.states_explored;
+    let cert =
+      if t.certify then
+        let outcome =
+          Verify.Cert.certify ~hw:t.hw result.Gensor.Optimizer.etir
+        in
+        outcome.Verify.Cert.cert
+      else None
+    in
     let entry =
       { compute; etir = result.Gensor.Optimizer.etir;
-        metrics = result.Gensor.Optimizer.metrics }
+        metrics = result.Gensor.Optimizer.metrics; cert }
     in
     ignore (remember t entry : string);
     write_through t entry ~steps:result.Gensor.Optimizer.states_explored;
     (entry, if warm = None then Cold_miss else Warm_miss)
 
+(* Certificate-gated dispatch: an unseen shape may be served by a family
+   member whose legality certificate admits it — the cached schedule is
+   retargeted and re-scored, with no construction at all.  A shape outside
+   every certified region is *refused* (the reject counter records the
+   refusal) and falls back to [compile]: a cached kernel is never
+   dispatched beyond the region it was proved legal on. *)
+let dispatch t compute =
+  Trace.with_span ~name:"kcache.dispatch"
+    ~args:[ ("shape", shape_key compute) ]
+  @@ fun () ->
+  if Hashtbl.mem t.entries (shape_key compute) then compile t compute
+  else begin
+    let family = !(family_of t (family_key compute)) in
+    let certified = List.filter (fun e -> e.cert <> None) family in
+    let admitted =
+      List.find_opt
+        (fun e ->
+          match e.cert with
+          | Some c -> Result.is_ok (Verify.Cert.admits_compute c compute)
+          | None -> false)
+        certified
+    in
+    match admitted with
+    | Some donor ->
+      let etir = Sched.Etir.retarget donor.etir compute in
+      let metrics = Costmodel.Model.evaluate_cached ~hw:t.hw etir in
+      t.counters.c_cert_hits <- t.counters.c_cert_hits + 1;
+      Trace.Counter.incr c_cert_hits;
+      let entry = { compute; etir; metrics; cert = donor.cert } in
+      ignore (remember t entry : string);
+      (entry, Cert_hit)
+    | None ->
+      if certified <> [] then begin
+        t.counters.c_cert_rejects <- t.counters.c_cert_rejects + 1;
+        Trace.Counter.incr c_cert_rejects
+      end;
+      compile t compute
+  end
+
 let stats t =
   let c = t.counters in
-  { hits = c.c_hits; warm_misses = c.c_warm_misses;
+  { hits = c.c_hits; cert_hits = c.c_cert_hits;
+    cert_rejects = c.c_cert_rejects; warm_misses = c.c_warm_misses;
     cold_misses = c.c_cold_misses;
     construction_steps = c.c_construction_steps;
     store_hits = c.c_store_hits; store_writes = c.c_store_writes }

@@ -16,13 +16,19 @@ type entry = {
   compute : Tensor_lang.Compute.t;
   etir : Sched.Etir.t;
   metrics : Costmodel.Metrics.t;
+  cert : Verify.Cert.t option;
+      (** shape-region legality certificate, when the cache certifies *)
 }
 
-type lookup = Hit | Warm_miss | Cold_miss
+type lookup = Hit | Cert_hit | Warm_miss | Cold_miss
 
 (** Immutable counter snapshot, taken by {!stats}. *)
 type stats = {
   hits : int;
+  cert_hits : int;  (** {!dispatch} served by a certificate admission *)
+  cert_rejects : int;
+      (** {!dispatch} refused a cached kernel: shape outside every
+          certified region of its family *)
   warm_misses : int;
   cold_misses : int;
   construction_steps : int;
@@ -32,8 +38,12 @@ type stats = {
 
 type t
 
+(** [certify] makes every construction also run {!Verify.Cert.certify} and
+    attach the certificate to the entry (and its store record), enabling
+    {!dispatch}.  Defaults to [false]: [compile]-only users pay nothing. *)
 val create :
   ?config:Gensor.Optimizer.config ->
+  ?certify:bool ->
   ?store:Artifact.Store.t ->
   hw:Hardware.Gpu_spec.t ->
   unit ->
@@ -51,6 +61,15 @@ val family_key : Tensor_lang.Compute.t -> string
 (** [compile t compute] returns the kernel for this shape, compiling and
     caching (and writing through to the store, when present) on a miss. *)
 val compile : t -> Tensor_lang.Compute.t -> entry * lookup
+
+(** [dispatch t compute] is certificate-gated lookup: an exact hit behaves
+    like {!compile}; otherwise a family member whose legality certificate
+    {!Verify.Cert.admits_compute} the shape is retargeted and re-scored
+    with no construction ([Cert_hit], counter [verify.cert.hit]).  A shape
+    outside every certified region is refused ([verify.cert.reject]) and
+    falls back to {!compile} — a cached kernel is never dispatched beyond
+    the region it was proved legal on. *)
+val dispatch : t -> Tensor_lang.Compute.t -> entry * lookup
 
 (** Snapshot of the counters at this instant. *)
 val stats : t -> stats

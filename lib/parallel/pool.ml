@@ -91,20 +91,23 @@ let map pool f xs =
       let chunk = max 1 ((n + (pool.jobs * 4) - 1) / (pool.jobs * 4)) in
       let run_chunk lo =
         let hi = min n (lo + chunk) in
-        Trace.with_span ~name:"pool.chunk"
-          ~args:[ ("items", string_of_int (hi - lo)) ]
+        (* The span must close before the completion signal: the caller may
+           flush the trace as soon as [pending] hits 0, and an E event
+           recorded after that flush would leave the span dangling open. *)
+        (Trace.with_span ~name:"pool.chunk"
+           ~args:[ ("items", string_of_int (hi - lo)) ]
         @@ fun () ->
-        for i = lo to hi - 1 do
-          match f items.(i) with
-          | result -> progress.results.(i) <- Some result
-          | exception e ->
-            let bt = Printexc.get_raw_backtrace () in
-            Mutex.lock progress.plock;
-            (match progress.first_error with
-            | Some (j, _, _) when j <= i -> ()
-            | Some _ | None -> progress.first_error <- Some (i, e, bt));
-            Mutex.unlock progress.plock
-        done;
+         for i = lo to hi - 1 do
+           match f items.(i) with
+           | result -> progress.results.(i) <- Some result
+           | exception e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock progress.plock;
+             (match progress.first_error with
+             | Some (j, _, _) when j <= i -> ()
+             | Some _ | None -> progress.first_error <- Some (i, e, bt));
+             Mutex.unlock progress.plock
+         done);
         Mutex.lock progress.plock;
         progress.pending <- progress.pending - 1;
         if progress.pending = 0 then Condition.broadcast progress.finished;

@@ -110,7 +110,7 @@ let check_access ~granularity ~ranges ~tensor ~shape ~indices ~what =
       (List.mapi
          (fun d (iv, extent) ->
            if Interval.lo iv < 0 || Interval.hi iv > extent - 1 then
-             [ Diagnostic.v Diagnostic.Error Diagnostic.Bounds
+             [ Diagnostic.v ~code:"GSR-B08" Diagnostic.Error Diagnostic.Bounds
                  ~loc:(Fmt.str "%s, %s %s dim %d" granularity what tensor d)
                  "indices %a escape the declared extent %d" Interval.pp iv
                  extent ]
@@ -124,8 +124,8 @@ let check etir =
   let sext = Etir.spatial_extents etir and rext = Etir.reduce_extents etir in
   let diags = ref [] in
   let add d = diags := d :: !diags in
-  let error ~loc fmt = Fmt.kstr (fun m -> add (Diagnostic.v Diagnostic.Error Diagnostic.Bounds ~loc "%s" m)) fmt in
-  let warn ~loc fmt = Fmt.kstr (fun m -> add (Diagnostic.v Diagnostic.Warning Diagnostic.Bounds ~loc "%s" m)) fmt in
+  let error ~code ~loc fmt = Fmt.kstr (fun m -> add (Diagnostic.v ~code Diagnostic.Error Diagnostic.Bounds ~loc "%s" m)) fmt in
+  let warn ~code ~loc fmt = Fmt.kstr (fun m -> add (Diagnostic.v ~code Diagnostic.Warning Diagnostic.Bounds ~loc "%s" m)) fmt in
   (* Structural tile legality: a tile wider than its axis or a vthread count
      wider than its thread tile cannot be repaired by a guard. *)
   Array.iteri
@@ -135,14 +135,14 @@ let check etir =
         (fun level ->
           let tile = Etir.stile_eff etir ~level ~dim:i in
           if tile > sext.(i) then
-            error ~loc:(Fmt.str "level %d, axis %s" level name)
+            error ~code:"GSR-B01" ~loc:(Fmt.str "level %d, axis %s" level name)
               "spatial tile %d exceeds the axis extent %d (out-of-bounds tile)"
               tile sext.(i))
         [ 1; 0 ];
       let v = Etir.vthread etir ~dim:i in
       let t0 = Etir.stile etir ~level:0 ~dim:i in
       if v > t0 then
-        error ~loc:(Fmt.str "axis %s" name)
+        error ~code:"GSR-B02" ~loc:(Fmt.str "axis %s" name)
           "vthread count %d exceeds the thread tile %d: stripes index outside \
            the tile" v t0)
     spatial;
@@ -153,7 +153,7 @@ let check etir =
         (fun level ->
           let tile = Etir.rtile_eff etir ~level ~dim:j in
           if tile > rext.(j) then
-            error ~loc:(Fmt.str "level %d, axis %s" level name)
+            error ~code:"GSR-B03" ~loc:(Fmt.str "level %d, axis %s" level name)
               "reduce tile %d exceeds the axis extent %d (out-of-bounds tile)"
               tile rext.(j))
         [ 1; 0 ])
@@ -164,7 +164,7 @@ let check etir =
       let name = Axis.name ax in
       let t1 = Etir.stile_eff etir ~level:1 ~dim:i in
       if t1 <= sext.(i) && sext.(i) mod t1 <> 0 then
-        warn ~loc:(Fmt.str "level 1, axis %s" name)
+        warn ~code:"GSR-B04" ~loc:(Fmt.str "level 1, axis %s" name)
           "block tile %d does not divide the extent %d: the boundary block \
            overruns by %d; guard required" t1 sext.(i)
           (ceil_div sext.(i) t1 * t1 - sext.(i));
@@ -175,7 +175,7 @@ let check etir =
           Etir.physical_threads_dim etir i * v * ceil_div t0 (max v 1)
         in
         if t1 <= sext.(i) && cover <> t1 then
-          warn ~loc:(Fmt.str "level 0, axis %s" name)
+          warn ~code:"GSR-B05" ~loc:(Fmt.str "level 0, axis %s" name)
             "thread/vthread decomposition enumerates %d indices of a %d-wide \
              block tile; guard required" cover t1
       end)
@@ -186,11 +186,11 @@ let check etir =
       let r1 = Etir.rtile_eff etir ~level:1 ~dim:j in
       let r0 = Etir.rtile_eff etir ~level:0 ~dim:j in
       if r1 <= rext.(j) && rext.(j) mod r1 <> 0 then
-        warn ~loc:(Fmt.str "level 1, axis %s" name)
+        warn ~code:"GSR-B06" ~loc:(Fmt.str "level 1, axis %s" name)
           "reduce chunk %d does not divide the extent %d; guard required" r1
           rext.(j);
       if r1 <= rext.(j) && r1 mod r0 <> 0 then
-        warn ~loc:(Fmt.str "level 0, axis %s" name)
+        warn ~code:"GSR-B07" ~loc:(Fmt.str "level 0, axis %s" name)
           "register reduce tile %d does not divide the chunk %d; remainder \
            loop required" r0 r1)
     (Etir.reduce_axes etir);

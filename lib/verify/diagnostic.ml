@@ -1,24 +1,32 @@
 (* Diagnostics of the schedule legality verifier.
 
-   Every finding carries the pass that produced it, a human-readable location
-   (axis, kernel line, tensor) precise enough to act on, and a severity:
-   [Error] marks a schedule or kernel that must not ship (out-of-bounds
-   access, data race, emitted text contradicting the schedule), [Warning]
-   marks legality debts a guard would repay (non-dividing tiles), [Info] is
-   advisory. *)
+   Every finding carries the pass that produced it, a stable machine-readable
+   code ([GSR-B01], [GSR-R02], ...) for CI gates and editor integrations, a
+   human-readable location (axis, kernel line, tensor) precise enough to act
+   on, and a severity: [Error] marks a schedule or kernel that must not ship
+   (out-of-bounds access, data race, emitted text contradicting the
+   schedule), [Warning] marks legality debts a guard would repay
+   (non-dividing tiles), [Info] is advisory.
+
+   Codes are part of the tool's contract: once shipped, a code keeps its
+   meaning forever (retire, never reuse).  The default text rendering ([pp],
+   [pp_report]) deliberately omits the code so byte-for-byte output of the
+   pre-code verifier is preserved; structured exporters (JSON, SARIF) carry
+   it as the rule id. *)
 
 type severity = Error | Warning | Info
-type pass = Bounds | Race | Lint
+type pass = Bounds | Race | Lint | Cert
 
 type t = {
+  code : string;
   severity : severity;
   pass : pass;
   loc : string;
   message : string;
 }
 
-let v severity pass ~loc fmt =
-  Fmt.kstr (fun message -> { severity; pass; loc; message }) fmt
+let v ~code severity pass ~loc fmt =
+  Fmt.kstr (fun message -> { code; severity; pass; loc; message }) fmt
 
 let severity_to_string = function
   | Error -> "error"
@@ -29,6 +37,20 @@ let pass_to_string = function
   | Bounds -> "bounds"
   | Race -> "race"
   | Lint -> "lint"
+  | Cert -> "cert"
+
+let pass_of_string = function
+  | "bounds" -> Some Bounds
+  | "race" -> Some Race
+  | "lint" -> Some Lint
+  | "cert" -> Some Cert
+  | _ -> None
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
@@ -42,6 +64,12 @@ let by_severity ds =
 
 let pp ppf d =
   Fmt.pf ppf "[%s/%s] %s: %s"
+    (pass_to_string d.pass)
+    (severity_to_string d.severity)
+    d.loc d.message
+
+let pp_coded ppf d =
+  Fmt.pf ppf "%s [%s/%s] %s: %s" d.code
     (pass_to_string d.pass)
     (severity_to_string d.severity)
     d.loc d.message

@@ -1,0 +1,160 @@
+(* Machine-readable renderings of verifier output: a compact JSON format
+   and SARIF 2.1.0.
+
+   Both are hand-emitted — this repository deliberately has no JSON
+   dependency (the bench and trace layers hand-write JSON for the same
+   reason), and the subset needed here is small: objects, arrays, strings,
+   integers, null.  Strings go through one escaper that covers every JSON
+   obligation (quote, backslash, control characters), so emitted documents
+   are valid for any diagnostic text.
+
+   SARIF notes:
+   - diagnostic codes are the SARIF rule ids; the driver's [rules] array
+     lists each code that appears, once, with its pass as the description;
+   - severities map Error -> "error", Warning -> "warning", Info -> "note";
+   - targets have no file/line identity (they are schedules, not source),
+     so results carry [logicalLocations] with the analysis target and the
+     diagnostic's own locus as the fully qualified name. *)
+
+type item = {
+  target : string;
+  diags : Diagnostic.t list;
+  region : string option;  (* rendered certificate region, when certified *)
+}
+
+let item ?region ~target diags = { target; diags; region }
+
+(* ---------- JSON primitives ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+let jfield k v = jstr k ^ ": " ^ v
+let jobj fields = "{" ^ String.concat ", " fields ^ "}"
+let jarr items = "[" ^ String.concat ", " items ^ "]"
+
+let severity_counts diags =
+  ( Diagnostic.count Diagnostic.Error diags,
+    Diagnostic.count Diagnostic.Warning diags,
+    Diagnostic.count Diagnostic.Info diags )
+
+(* ---------- compact JSON ---------- *)
+
+let diag_json (d : Diagnostic.t) =
+  jobj
+    [ jfield "code" (jstr d.Diagnostic.code);
+      jfield "severity"
+        (jstr (Diagnostic.severity_to_string d.Diagnostic.severity));
+      jfield "pass" (jstr (Diagnostic.pass_to_string d.Diagnostic.pass));
+      jfield "loc" (jstr d.Diagnostic.loc);
+      jfield "message" (jstr d.Diagnostic.message) ]
+
+let item_json it =
+  let errors, warnings, infos = severity_counts it.diags in
+  jobj
+    [ jfield "target" (jstr it.target);
+      jfield "region"
+        (match it.region with Some r -> jstr r | None -> "null");
+      jfield "errors" (string_of_int errors);
+      jfield "warnings" (string_of_int warnings);
+      jfield "infos" (string_of_int infos);
+      jfield "diagnostics"
+        (jarr (List.map diag_json (Diagnostic.by_severity it.diags))) ]
+
+let json items =
+  let all = List.concat_map (fun it -> it.diags) items in
+  let errors, warnings, infos = severity_counts all in
+  jobj
+    [ jfield "tool" (jstr "gensor-verify");
+      jfield "items" (jarr (List.map item_json items));
+      jfield "summary"
+        (jobj
+           [ jfield "targets" (string_of_int (List.length items));
+             jfield "errors" (string_of_int errors);
+             jfield "warnings" (string_of_int warnings);
+             jfield "infos" (string_of_int infos) ]) ]
+  ^ "\n"
+
+(* ---------- SARIF 2.1.0 ---------- *)
+
+let sarif_level = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+(* One rule per distinct code, in first-appearance order. *)
+let rules items =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun it ->
+      List.filter_map
+        (fun (d : Diagnostic.t) ->
+          if Hashtbl.mem seen d.Diagnostic.code then None
+          else begin
+            Hashtbl.add seen d.Diagnostic.code ();
+            Some
+              (jobj
+                 [ jfield "id" (jstr d.Diagnostic.code);
+                   jfield "shortDescription"
+                     (jobj
+                        [ jfield "text"
+                            (jstr
+                               (Fmt.str "gensor verifier %s-pass diagnostic"
+                                  (Diagnostic.pass_to_string
+                                     d.Diagnostic.pass))) ]) ])
+          end)
+        it.diags)
+    items
+
+let sarif_result ~target (d : Diagnostic.t) =
+  jobj
+    [ jfield "ruleId" (jstr d.Diagnostic.code);
+      jfield "level" (jstr (sarif_level d.Diagnostic.severity));
+      jfield "message" (jobj [ jfield "text" (jstr d.Diagnostic.message) ]);
+      jfield "locations"
+        (jarr
+           [ jobj
+               [ jfield "logicalLocations"
+                   (jarr
+                      [ jobj
+                          [ jfield "fullyQualifiedName"
+                              (jstr (target ^ ": " ^ d.Diagnostic.loc));
+                            jfield "kind" (jstr "member") ] ]) ] ]) ]
+
+let sarif items =
+  let results =
+    List.concat_map
+      (fun it ->
+        List.map (sarif_result ~target:it.target)
+          (Diagnostic.by_severity it.diags))
+      items
+  in
+  jobj
+    [ jfield "$schema" (jstr "https://json.schemastore.org/sarif-2.1.0.json");
+      jfield "version" (jstr "2.1.0");
+      jfield "runs"
+        (jarr
+           [ jobj
+               [ jfield "tool"
+                   (jobj
+                      [ jfield "driver"
+                          (jobj
+                             [ jfield "name" (jstr "gensor-verify");
+                               jfield "version" (jstr "1.0");
+                               jfield "rules" (jarr (rules items)) ]) ]);
+                 jfield "results" (jarr results) ] ]) ]
+  ^ "\n"

@@ -37,14 +37,15 @@ let constant_trip line =
 let check etir ~kernel ~host =
   let compute = Etir.compute etir in
   let diags = ref [] in
-  let add sev ~loc fmt =
+  let add sev ~code ~loc fmt =
     Fmt.kstr
-      (fun m -> diags := Diagnostic.v sev Diagnostic.Lint ~loc "%s" m :: !diags)
+      (fun m ->
+        diags := Diagnostic.v ~code sev Diagnostic.Lint ~loc "%s" m :: !diags)
       fmt
   in
-  let error ~loc fmt = add Diagnostic.Error ~loc fmt in
-  let warn ~loc fmt = add Diagnostic.Warning ~loc fmt in
-  let info ~loc fmt = add Diagnostic.Info ~loc fmt in
+  let error ~code ~loc fmt = add Diagnostic.Error ~code ~loc fmt in
+  let warn ~code ~loc fmt = add Diagnostic.Warning ~code ~loc fmt in
+  let info ~code ~loc fmt = add Diagnostic.Info ~code ~loc fmt in
   let staged = Costmodel.Footprint.input_elems etir ~level:1 in
   (* Shared-array declarations: one per staged level-1 slice, sized exactly
      to the footprint model's element count. *)
@@ -56,17 +57,17 @@ let check etir ~kernel ~host =
             Scan.contains l "__shared__" && Scan.contains l marker)
       with
       | None ->
-        error ~loc:"kernel"
+        error ~code:"GSR-L01" ~loc:"kernel"
           "missing __shared__ declaration for the staged slice of %s" tensor
       | Some { line; text } -> (
         match Scan.int_after text marker with
         | Some declared when declared <> elems ->
-          error ~loc:(Fmt.str "kernel line %d" line)
+          error ~code:"GSR-L02" ~loc:(Fmt.str "kernel line %d" line)
             "__shared__ smem_%s declares %d floats but the level-1 footprint \
              stages %d" tensor declared elems
         | Some _ -> ()
         | None ->
-          error ~loc:(Fmt.str "kernel line %d" line)
+          error ~code:"GSR-L03" ~loc:(Fmt.str "kernel line %d" line)
             "__shared__ smem_%s has a non-constant extent" tensor))
     staged;
   (* No declarations beyond the staged slices. *)
@@ -80,7 +81,7 @@ let check etir ~kernel ~host =
         with
         | Some _ -> ()
         | None ->
-          warn ~loc:(Fmt.str "kernel line %d" num)
+          warn ~code:"GSR-L04" ~loc:(Fmt.str "kernel line %d" num)
             "shared array not backed by any staged level-1 slice")
     (Scan.lines kernel);
   (* Accumulator array: exactly the level-0 spatial tile. *)
@@ -89,11 +90,13 @@ let check etir ~kernel ~host =
     product (List.init n (fun i -> Etir.stile etir ~level:0 ~dim:i))
   in
   (match find_line kernel (fun l -> Scan.contains l "float acc[") with
-  | None -> error ~loc:"kernel" "no accumulator array for the thread tile"
+  | None ->
+    error ~code:"GSR-L05" ~loc:"kernel"
+      "no accumulator array for the thread tile"
   | Some { line; text } -> (
     match Scan.int_after text "acc[" with
     | Some declared when declared <> acc_expected ->
-      error ~loc:(Fmt.str "kernel line %d" line)
+      error ~code:"GSR-L06" ~loc:(Fmt.str "kernel line %d" line)
         "accumulator holds %d floats but the level-0 tile has %d elements"
         declared acc_expected
     | _ -> ()));
@@ -104,14 +107,14 @@ let check etir ~kernel ~host =
         List.find_opt (fun (_, l') -> Scan.contains l' "for (") rest
       with
       | None ->
-        error ~loc:(Fmt.str "kernel line %d" num)
+        error ~code:"GSR-L07" ~loc:(Fmt.str "kernel line %d" num)
           "#pragma unroll with no loop to unroll";
         unroll_scan rest
       | Some (fnum, floop) ->
         (match constant_trip floop with
         | Some _ -> ()
         | None ->
-          error ~loc:(Fmt.str "kernel line %d" fnum)
+          error ~code:"GSR-L08" ~loc:(Fmt.str "kernel line %d" fnum)
             "#pragma unroll on a loop whose trip count is not a compile-time \
              constant");
         unroll_scan rest)
@@ -124,22 +127,22 @@ let check etir ~kernel ~host =
     String.fold_left (fun acc c -> if c = ch then acc + 1 else acc) 0 kernel
   in
   if count '{' <> count '}' then
-    error ~loc:"kernel" "unbalanced braces (%d '{' vs %d '}')" (count '{')
-      (count '}');
+    error ~code:"GSR-L09" ~loc:"kernel" "unbalanced braces (%d '{' vs %d '}')"
+      (count '{') (count '}');
   let kname = Fmt.str "%s_kernel" (Tensor_lang.Compute.name compute) in
   if not (Scan.contains kernel kname) then
-    error ~loc:"kernel" "kernel symbol %s not found" kname;
+    error ~code:"GSR-L10" ~loc:"kernel" "kernel symbol %s not found" kname;
   if not (Scan.contains host (kname ^ "<<<")) then
-    error ~loc:"host" "host snippet does not launch %s" kname;
+    error ~code:"GSR-L11" ~loc:"host" "host snippet does not launch %s" kname;
   (* Launch shape: the host dims must reproduce the ETIR's grid and block. *)
   let check_dims marker expected what =
     match Scan.ints_between host ~marker ~stop:')' with
-    | [] -> error ~loc:"host" "no %s declaration" what
+    | [] -> error ~code:"GSR-L12" ~loc:"host" "no %s declaration" what
     | dims ->
       let total = product dims in
       if total <> expected then
-        error ~loc:"host" "%s launches %d but the schedule prescribes %d" what
-          total expected
+        error ~code:"GSR-L13" ~loc:"host"
+          "%s launches %d but the schedule prescribes %d" what total expected
   in
   check_dims "dim3 grid(" (Etir.grid_blocks etir) "grid";
   check_dims "dim3 block(" (Etir.threads_per_block etir) "block";
@@ -148,12 +151,14 @@ let check etir ~kernel ~host =
   | [ smem ] ->
     let expected = Costmodel.Footprint.bytes_at etir ~level:1 in
     if smem <> expected then
-      error ~loc:"host"
+      error ~code:"GSR-L14" ~loc:"host"
         "launch allocates %d bytes of dynamic shared memory but the staged \
          footprint is %d" smem expected
-  | _ -> error ~loc:"host" "launch does not carry a shared-memory size");
+  | _ ->
+    error ~code:"GSR-L15" ~loc:"host"
+      "launch does not carry a shared-memory size");
   (* Advisory: staging arrays without a reduction phase to fill them. *)
   if staged <> [] && Etir.num_reduce etir = 0 then
-    info ~loc:"kernel"
+    info ~code:"GSR-L16" ~loc:"kernel"
       "shared arrays declared but never filled (no reduction staging phase)";
   List.rev !diags

@@ -1,0 +1,24 @@
+(** Shared pass composition: the single definition of which checks
+    constitute schedule legality, used by both [Verify] entry points and
+    the certificate engine's concrete corner validation. *)
+
+(** §IV-C capacity and launch-limit violations as bounds-pass errors. *)
+val capacity :
+  Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> Diagnostic.t list
+
+(** Capacity + interval bounds: everything derivable from the state alone. *)
+val static_checks :
+  Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> Diagnostic.t list
+
+(** Race + lint over the emitted kernel/host text. *)
+val kernel_checks :
+  Sched.Etir.t -> kernel:string -> host:string -> Diagnostic.t list
+
+val run_text :
+  Sched.Etir.t ->
+  hw:Hardware.Gpu_spec.t ->
+  kernel:string ->
+  host:string ->
+  Diagnostic.t list
+
+val run : Sched.Etir.t -> hw:Hardware.Gpu_spec.t -> Diagnostic.t list

@@ -129,7 +129,7 @@ let check etir ~kernel =
     (function
       | Barrier { line; divergent = true } when threads > 1 ->
         add
-          (Diagnostic.v Diagnostic.Error Diagnostic.Race
+          (Diagnostic.v ~code:"GSR-R01" Diagnostic.Error Diagnostic.Race
              ~loc:(Fmt.str "kernel line %d" line)
              "__syncthreads() under divergent control flow: threads may not \
               all reach the barrier (barrier divergence)")
@@ -165,7 +165,7 @@ let check etir ~kernel =
       if last_write < first_read && not (barrier_between last_write first_read)
       then
         add
-          (Diagnostic.v Diagnostic.Error Diagnostic.Race
+          (Diagnostic.v ~code:"GSR-R02" Diagnostic.Error Diagnostic.Race
              ~loc:(Fmt.str "kernel line %d" first_read)
              "cross-thread reads of %s are not separated from the staging \
               writes by __syncthreads() (read-after-write race)"
@@ -185,7 +185,7 @@ let check etir ~kernel =
                 chunk_events)
       then
         add
-          (Diagnostic.v Diagnostic.Error Diagnostic.Race
+          (Diagnostic.v ~code:"GSR-R03" Diagnostic.Error Diagnostic.Race
              ~loc:(Fmt.str "kernel line %d (end of reduction chunk)" last_read)
              "no __syncthreads() after the chunk's reads: the next \
               iteration's staging writes race with them (write-after-read \

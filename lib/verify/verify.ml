@@ -15,34 +15,46 @@
 
    Capacity and launch-limit violations (the paper's §IV-C memory check,
    {!Costmodel.Mem_check}) are folded in as bounds-pass errors so that one
-   call gives the complete legality verdict for a final state. *)
+   call gives the complete legality verdict for a final state.  The actual
+   pass composition lives in {!Passes} — the single definition both entry
+   points and the {!Cert} engine share, so they cannot drift.
+
+   {!Cert} is the symbolic tier: it certifies a whole shape region per
+   schedule; the kernel cache and the dynamic-shape executor consult its
+   certificates before dispatching a cached kernel to a new shape.
+
+   Run and per-pass error tallies report through the {!Trace.Counter}
+   registry ([verify.runs], [verify.errors.bounds|race|lint]); each pass
+   runs inside a [Trace.with_span]. *)
 
 module Diagnostic = Diagnostic
 module Bounds = Bounds
 module Race = Race
 module Lint = Lint
+module Passes = Passes
+module Cert = Cert
+module Export = Export
 
-let capacity etir ~hw =
-  List.map
-    (fun v ->
-      let loc =
-        if v.Costmodel.Mem_check.level < 0 then "launch limits"
-        else Fmt.str "level %d capacity" v.Costmodel.Mem_check.level
-      in
-      Diagnostic.v Diagnostic.Error Diagnostic.Bounds ~loc "%a"
-        Costmodel.Mem_check.pp_violation v)
-    (Costmodel.Mem_check.check etir ~hw)
+let runs_counter = Trace.Counter.make "verify.runs"
+let bounds_errors = Trace.Counter.make "verify.errors.bounds"
+let race_errors = Trace.Counter.make "verify.errors.race"
+let lint_errors = Trace.Counter.make "verify.errors.lint"
+
+let tally ds =
+  Trace.Counter.incr runs_counter;
+  List.iter
+    (fun d ->
+      if Diagnostic.is_error d then
+        match d.Diagnostic.pass with
+        | Diagnostic.Bounds -> Trace.Counter.incr bounds_errors
+        | Diagnostic.Race -> Trace.Counter.incr race_errors
+        | Diagnostic.Lint -> Trace.Counter.incr lint_errors
+        | Diagnostic.Cert -> ())
+    ds;
+  ds
 
 (* Verify a state against caller-supplied kernel text: the entry point for
    linting mutated or externally post-processed kernels. *)
-let run_text etir ~hw ~kernel ~host =
-  capacity etir ~hw
-  @ Bounds.check etir
-  @ Race.check etir ~kernel
-  @ Lint.check etir ~kernel ~host
-
-let run etir ~hw =
-  run_text etir ~hw ~kernel:(Codegen.Cuda.emit etir)
-    ~host:(Codegen.Cuda.emit_host etir)
-
+let run_text etir ~hw ~kernel ~host = tally (Passes.run_text etir ~hw ~kernel ~host)
+let run etir ~hw = tally (Passes.run etir ~hw)
 let ok etir ~hw = Diagnostic.errors (run etir ~hw) = []

@@ -6,12 +6,20 @@
     shared-memory reduction), {!Lint} (emitted text vs ETIR facts) — plus
     the §IV-C capacity/launch checks, and returns every finding.  A state
     with no [Error]-severity diagnostics is legal to ship; [Warning]s mark
-    boundary-guard obligations of non-dividing tiles. *)
+    boundary-guard obligations of non-dividing tiles.
+
+    The pass composition is shared with the symbolic tier through
+    {!Passes}; {!Cert} certifies whole shape regions per schedule.  Top
+    level runs and per-pass error counts report through {!Trace.Counter}
+    ([verify.runs], [verify.errors.bounds|race|lint]). *)
 
 module Diagnostic = Diagnostic
 module Bounds = Bounds
 module Race = Race
 module Lint = Lint
+module Passes = Passes
+module Cert = Cert
+module Export = Export
 
 (** All diagnostics of the state: capacity, bounds, race and lint passes
     over the kernel/host text emitted by {!Codegen.Cuda}. *)

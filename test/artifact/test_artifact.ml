@@ -172,7 +172,9 @@ let gen_gpu st =
 
 let gen_diag st =
   let open QCheck.Gen in
-  { Verify.Diagnostic.severity =
+  { Verify.Diagnostic.code =
+      oneofl [ "GSR-B01"; "GSR-B08"; "GSR-R02"; "GSR-L02"; "GSR-C04" ] st;
+    severity =
       oneofl
         [ Verify.Diagnostic.Error; Verify.Diagnostic.Warning;
           Verify.Diagnostic.Info ]
@@ -180,12 +182,46 @@ let gen_diag st =
     pass =
       oneofl
         [ Verify.Diagnostic.Bounds; Verify.Diagnostic.Race;
-          Verify.Diagnostic.Lint ]
+          Verify.Diagnostic.Lint; Verify.Diagnostic.Cert ]
         st;
     loc = gen_name st;
     message = oneofl [ "plain"; "with \"quotes\""; "tab\there"; "nl\nhere" ] st }
 
 let gen_diags st = QCheck.Gen.list_size (QCheck.Gen.int_range 0 5) gen_diag st
+
+(* Random shape-region certificate: adversarial names everywhere, affine
+   constraints with negative constants and coefficients. *)
+let gen_affine st =
+  let open QCheck.Gen in
+  let f = ref (Verify.Cert.Affine.const (int_range (-100) 100 st)) in
+  for i = 1 to int_range 0 3 st do
+    f :=
+      Verify.Cert.Affine.add !f
+        (Verify.Cert.Affine.sym
+           ~coeff:(int_range (-8) 8 st)
+           (Fmt.str "%s%d" (gen_name st) i))
+  done;
+  !f
+
+let gen_cert st =
+  let open QCheck.Gen in
+  let sym i =
+    let lo = int_range 1 64 st in
+    (Fmt.str "%s%d" (gen_name st) i, Interval.v lo (lo + int_range 0 512 st))
+  in
+  { Verify.Cert.device = gen_name st;
+    syms = List.init (int_range 0 3 st) sym;
+    constraints =
+      List.init (int_range 0 2 st) (fun _ ->
+          { Verify.Cert.lhs = gen_affine st; rhs = gen_affine st });
+    guards =
+      List.init (int_range 0 3 st) (fun i ->
+          { Verify.Cert.divisor = int_range 1 32 st;
+            g_sym = Fmt.str "%s%d" (gen_name st) i });
+    witness =
+      List.init (int_range 0 4 st) (fun i ->
+          (Fmt.str "%s%d" (gen_name st) i, int_range 1 4096 st));
+    witness_sig = gen_name st }
 
 (* A full artifact: random schedule, metrics from the real cost model. *)
 let gen_record st =
@@ -199,7 +235,12 @@ let gen_record st =
 
 let gen_record_verified st =
   let r = gen_record st in
-  { r with Artifact.Record.verify = Artifact.Record.Verified (gen_diags st) }
+  let r =
+    { r with Artifact.Record.verify = Artifact.Record.Verified (gen_diags st) }
+  in
+  if QCheck.Gen.bool st then
+    { r with Artifact.Record.cert = Some (gen_cert st) }
+  else r
 
 (* ---------- round-trip laws ---------- *)
 
@@ -265,6 +306,15 @@ let prop_verify_roundtrip =
       | Error e -> fail_error "verify" e
       | Ok ds' -> ds' = ds)
 
+let prop_cert_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"cert codec round-trips"
+    (QCheck.make gen_cert ~print:(Fmt.str "%a" Verify.Cert.pp))
+    (fun c ->
+      let lines = Artifact.Cert_codec.encode c in
+      match Artifact.Cert_codec.decode (Artifact.Codec.cursor lines) with
+      | Error e -> fail_error "cert" e
+      | Ok c' -> c' = c && Artifact.Cert_codec.encode c' = lines)
+
 let prop_record_roundtrip =
   QCheck.Test.make ~count:60 ~name:"full artifact file round-trips"
     (QCheck.make gen_record_verified
@@ -283,7 +333,8 @@ let prop_record_roundtrip =
         && Sched.Etir.eval_equal r'.Artifact.Record.etir
              r.Artifact.Record.etir
         && r'.Artifact.Record.metrics = r.Artifact.Record.metrics
-        && r'.Artifact.Record.verify = r.Artifact.Record.verify)
+        && r'.Artifact.Record.verify = r.Artifact.Record.verify
+        && r'.Artifact.Record.cert = r.Artifact.Record.cert)
 
 (* Floats that defeat naive printf round-trips still survive (%.17g), and
    non-finite values are handled. *)
@@ -498,6 +549,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_metrics_roundtrip;
           QCheck_alcotest.to_alcotest prop_gpu_roundtrip;
           QCheck_alcotest.to_alcotest prop_verify_roundtrip;
+          QCheck_alcotest.to_alcotest prop_cert_roundtrip;
           QCheck_alcotest.to_alcotest prop_record_roundtrip;
           Alcotest.test_case "extreme floats" `Quick test_float_extremes ] );
       ( "corruption",

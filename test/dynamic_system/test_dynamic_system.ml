@@ -258,6 +258,123 @@ let test_cache_corrupt_store_degrades () =
       check_bool "degrades to a cold construction" true
         (lookup = Dnn.Kernel_cache.Cold_miss))
 
+(* ---------- certificate-gated dispatch ---------- *)
+
+(* The hand-checkable legal 256^3 GEMM schedule of the verify tests: block
+   32x16, thread 4x4, reduce chunk 8 unrolled by 2.  Its certificate is
+   known in closed form — floors 32/16/8, guards 32|i, 16|j, 8|k — so the
+   dispatch tests are deterministic without depending on what the
+   optimizer happens to construct. *)
+let gemm3 m n k = Ops.Op.compute (Ops.Matmul.gemm ~m ~n ~k ())
+
+let configured_256 () =
+  let open Sched in
+  let e = Etir.create (gemm3 256 256 256) in
+  let e = Etir.with_stile e ~level:1 ~dim:0 32 in
+  let e = Etir.with_stile e ~level:1 ~dim:1 16 in
+  let e = Etir.with_stile e ~level:0 ~dim:0 4 in
+  let e = Etir.with_stile e ~level:0 ~dim:1 4 in
+  let e = Etir.with_rtile e ~level:1 ~dim:0 8 in
+  let e = Etir.with_rtile e ~level:0 ~dim:0 2 in
+  Etir.with_cur_level e 0
+
+let certified_record () =
+  let etir = configured_256 () in
+  let outcome = Verify.Cert.certify ~hw etir in
+  let cert = Option.get outcome.Verify.Cert.cert in
+  Artifact.Record.v ~method_name:"gensor" ~cert ~device:hw ~etir
+    ~metrics:(Costmodel.Model.evaluate ~hw etir) ()
+
+(* Unit: dispatch serves an in-region shape from the certificate with zero
+   construction, and refuses an out-of-region shape. *)
+let test_dispatch_cert_gating () =
+  with_store_dir (fun dir ->
+      let store = Artifact.Store.open_ dir in
+      ignore (Artifact.Store.put store (certified_record ()) : string);
+      let cache =
+        Dnn.Kernel_cache.create ~store:(Artifact.Store.open_ dir) ~hw ()
+      in
+      check_int "cert entry preloaded" 1
+        (Dnn.Kernel_cache.preloaded_count cache);
+      (* 64x64x64 is inside the region (floors 32/16/8) and on every guard
+         multiple: a Cert_hit with no construction at all. *)
+      let entry, look = Dnn.Kernel_cache.dispatch cache (gemm3 64 64 64) in
+      check_bool "in-region shape served by certificate" true
+        (look = Dnn.Kernel_cache.Cert_hit);
+      check_bool "retargeted schedule verifies clean" true
+        (Verify.ok entry.Dnn.Kernel_cache.etir ~hw);
+      let s = Dnn.Kernel_cache.stats cache in
+      check_int "cert hit counted" 1 s.Dnn.Kernel_cache.cert_hits;
+      check_int "no construction steps" 0
+        s.Dnn.Kernel_cache.construction_steps;
+      (* A second dispatch of the same shape is now an exact hit. *)
+      let _, again = Dnn.Kernel_cache.dispatch cache (gemm3 64 64 64) in
+      check_bool "cert-served shape becomes an exact hit" true
+        (again = Dnn.Kernel_cache.Hit);
+      (* 16 is below the clamp-free floor of i: the cached kernel must be
+         refused and the shape pays its own construction. *)
+      let entry', look' = Dnn.Kernel_cache.dispatch cache (gemm3 16 64 64) in
+      check_bool "out-of-region shape is not cert-served" true
+        (look' <> Dnn.Kernel_cache.Cert_hit
+        && look' <> Dnn.Kernel_cache.Hit);
+      check_bool "fallback construction verifies clean" true
+        (Verify.ok entry'.Dnn.Kernel_cache.etir ~hw);
+      let s' = Dnn.Kernel_cache.stats cache in
+      check_int "reject counted" 1 s'.Dnn.Kernel_cache.cert_rejects;
+      check_bool "fallback paid construction steps" true
+        (s'.Dnn.Kernel_cache.construction_steps > 0);
+      check_bool "registry counters mirror the stats" true
+        (match
+           ( Trace.Counter.find "verify.cert.hit",
+             Trace.Counter.find "verify.cert.reject" )
+         with
+        | Some h, Some r -> h >= 1 && r >= 1
+        | _ -> false))
+
+(* Integration: a certifying cache writes certificates through the store,
+   and the BERT bucket arm dispatches across sequence lengths with the
+   certificates enforcing the region at every lookup. *)
+let test_certify_writes_through () =
+  with_store_dir (fun dir ->
+      let run1 =
+        Dnn.Kernel_cache.create ~certify:true
+          ~store:(Artifact.Store.open_ dir) ~hw ()
+      in
+      let entry, _ = Dnn.Kernel_cache.compile run1 (small_gemm ~m:256) in
+      check_bool "construction was certified" true
+        (entry.Dnn.Kernel_cache.cert <> None);
+      (* A second process preloads the certificate and can dispatch on it
+         without certifying anything itself. *)
+      let run2 =
+        Dnn.Kernel_cache.create ~store:(Artifact.Store.open_ dir) ~hw ()
+      in
+      let preloaded, look =
+        Dnn.Kernel_cache.dispatch run2 (small_gemm ~m:256)
+      in
+      check_bool "exact preloaded hit" true (look = Dnn.Kernel_cache.Hit);
+      check_bool "certificate survived the store round-trip" true
+        (preloaded.Dnn.Kernel_cache.cert = entry.Dnn.Kernel_cache.cert))
+
+let test_bert_certified_buckets () =
+  let seqs = [ 32; 64 ] in
+  let reports, stats =
+    Dnn.Dynamic.bert_gensor_certified ~hw ~batch:2 ~seqs ()
+  in
+  check_int "one report per bucket" 2 (List.length reports);
+  List.iter2
+    (fun seq r ->
+      Alcotest.(check string)
+        "labelled by bucket" (Fmt.str "seq=%d" seq) r.Dnn.Dynamic.shape_label;
+      check_bool "positive throughput" true (r.Dnn.Dynamic.throughput > 0.0))
+    seqs reports;
+  (* Every lookup was either served within a certified region or paid its
+     own construction — and both dispatch outcomes actually occur on this
+     bucket set. *)
+  check_bool "certificates served some buckets" true
+    (stats.Dnn.Kernel_cache.cert_hits > 0);
+  check_bool "out-of-region buckets were refused, not served" true
+    (stats.Dnn.Kernel_cache.cert_rejects > 0)
+
 let () =
   Alcotest.run "dynamic_system"
     [ ("warm_start",
@@ -277,4 +394,10 @@ let () =
        [ Alcotest.test_case "second process runs warm" `Quick
            test_cache_persists_across_processes;
          Alcotest.test_case "corrupt store degrades to cold" `Quick
-           test_cache_corrupt_store_degrades ]) ]
+           test_cache_corrupt_store_degrades ]);
+      ("cert_dispatch",
+       [ Alcotest.test_case "region gating" `Quick test_dispatch_cert_gating;
+         Alcotest.test_case "certificates persist" `Quick
+           test_certify_writes_through;
+         Alcotest.test_case "bert buckets" `Quick
+           test_bert_certified_buckets ]) ]

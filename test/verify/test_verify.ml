@@ -230,6 +230,346 @@ let test_nondividing_warns_not_errors () =
          && contains d.Verify.Diagnostic.message "does not divide")
        diags)
 
+(* ---------- stable diagnostic codes (satellite: coded fixtures) ---------- *)
+
+let test_divergent_barrier_code () =
+  (* The barrier-divergence fixture must carry its stable code GSR-R01. *)
+  let e = configured () in
+  let kernel =
+    replace ~sub:"    __syncthreads();"
+      ~by:"    if (threadIdx.x < 17) __syncthreads();"
+      (Codegen.Cuda.emit e)
+  in
+  let diags =
+    Verify.run_text e ~hw ~kernel ~host:(Codegen.Cuda.emit_host e)
+  in
+  check_bool "divergence error carries GSR-R01" true
+    (List.exists (fun d -> d.Verify.Diagnostic.code = "GSR-R01") (errors diags))
+
+let test_nondividing_code () =
+  (* The non-dividing block tile warning must carry GSR-B04, and the plain
+     text rendering must stay free of codes (byte-stable report format). *)
+  let e = Etir.with_stile (configured ()) ~level:1 ~dim:0 48 in
+  let diags = Verify.run e ~hw in
+  check_bool "non-dividing tile warns with GSR-B04" true
+    (List.exists
+       (fun d ->
+         d.Verify.Diagnostic.code = "GSR-B04"
+         && d.Verify.Diagnostic.severity = Verify.Diagnostic.Warning)
+       diags);
+  check_bool "every diagnostic carries a GSR- code" true
+    (List.for_all
+       (fun d ->
+         String.length d.Verify.Diagnostic.code >= 6
+         && String.sub d.Verify.Diagnostic.code 0 4 = "GSR-")
+       diags);
+  List.iter
+    (fun d ->
+      let plain = Fmt.str "%a" Verify.Diagnostic.pp d in
+      check_bool "pp omits the code" false (contains plain "GSR-");
+      let coded = Fmt.str "%a" Verify.Diagnostic.pp_coded d in
+      check_bool "pp_coded leads with the code" true
+        (String.length coded > 4 && String.sub coded 0 4 = "GSR-"))
+    diags
+
+(* ---------- certificates ---------- *)
+
+let test_cert_on_configured () =
+  let outcome = Verify.Cert.certify ~hw (configured ()) in
+  match outcome.Verify.Cert.cert with
+  | None ->
+    Alcotest.failf "certification refused: %a" Verify.Diagnostic.pp_report
+      outcome.Verify.Cert.diags
+  | Some cert ->
+    let at i j k = [ ("i", i); ("j", j); ("k", k) ] in
+    check_bool "witness admits itself" true
+      (Result.is_ok (Verify.Cert.admits cert (at 256 256 256)));
+    check_bool "smaller in-region shape admitted" true
+      (Result.is_ok (Verify.Cert.admits cert (at 64 64 64)));
+    check_bool "below the clamp-free floor is rejected" true
+      (Result.is_error (Verify.Cert.admits cert (at 16 256 256)));
+    check_bool "above the declared range is rejected" true
+      (Result.is_error (Verify.Cert.admits cert (at 1024 256 256)));
+    check_bool "guards hold on tile multiples" true
+      (Result.is_ok (Verify.Cert.guards_hold cert (at 64 64 64)));
+    check_bool "guards fail off-multiple" true
+      (Result.is_error (Verify.Cert.guards_hold cert (at 65 64 64)))
+
+let test_cert_refuses_broken_witness () =
+  (* A witness the concrete verifier rejects must not certify; the refusal
+     carries GSR-C02 plus the underlying errors. *)
+  let bad = Etir.with_stile (configured ()) ~level:1 ~dim:0 384 in
+  let outcome = Verify.Cert.certify ~hw bad in
+  check_bool "no certificate" true (outcome.Verify.Cert.cert = None);
+  check_bool "refusal carries GSR-C02" true
+    (List.exists
+       (fun d -> d.Verify.Diagnostic.code = "GSR-C02")
+       outcome.Verify.Cert.diags)
+
+let test_cert_rejects_structure_change () =
+  let outcome = Verify.Cert.certify ~hw (configured ()) in
+  let cert = Option.get outcome.Verify.Cert.cert in
+  let gemv = Ops.Op.compute (Ops.Matmul.gemv ~m:256 ~n:256 ()) in
+  check_bool "different axis structure is rejected" true
+    (Result.is_error (Verify.Cert.admits_compute cert gemv))
+
+(* The acceptance property: for random schedules and random shapes *inside*
+   a certificate's region, the concrete verifier on the retargeted schedule
+   reports no errors. *)
+let prop_cert_sound =
+  QCheck.Test.make ~count:60
+    ~name:"shapes admitted by a certificate verify error-free"
+    QCheck.(
+      quad
+        (make Gen.(int_range 0 100_000))
+        (1 -- 512) (1 -- 512) (1 -- 512))
+    (fun (seed, m, n, k) ->
+      let rng = Rng.create ~seed in
+      let e = ref (gemm_etir ()) in
+      for _ = 1 to 25 do
+        match Action.successors !e with
+        | [] -> ()
+        | succs -> e := snd (Rng.choice rng succs)
+      done;
+      if
+        not
+          (Result.is_ok (Etir.validate !e) && Costmodel.Mem_check.ok !e ~hw)
+      then true
+      else
+        let outcome = Verify.Cert.certify ~hw !e in
+        match outcome.Verify.Cert.cert with
+        | None -> true (* refusal is always allowed *)
+        | Some cert -> (
+          let compute' = Ops.Op.compute (Ops.Matmul.gemm ~m ~n ~k ()) in
+          match Verify.Cert.admits_compute cert compute' with
+          | Error _ -> true
+          | Ok () ->
+            errors (Verify.run (Etir.retarget !e compute') ~hw) = []))
+
+(* ---------- export: JSON and SARIF ---------- *)
+
+(* Minimal recursive-descent JSON reader — enough structure to check the
+   emitted documents are valid JSON and shaped like SARIF 2.1.0.  The
+   repository deliberately has no JSON dependency, so the test carries its
+   own reader rather than trusting the emitter to validate itself. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail m = raise (Bad (Fmt.str "%s at byte %d" m !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Fmt.str "expected %c" c)
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> advance (); Buffer.add_char b '"'; go ()
+          | Some '\\' -> advance (); Buffer.add_char b '\\'; go ()
+          | Some '/' -> advance (); Buffer.add_char b '/'; go ()
+          | Some 'n' -> advance (); Buffer.add_char b '\n'; go ()
+          | Some 'r' -> advance (); Buffer.add_char b '\r'; go ()
+          | Some 't' -> advance (); Buffer.add_char b '\t'; go ()
+          | Some 'b' -> advance (); Buffer.add_char b '\b'; go ()
+          | Some 'f' -> advance (); Buffer.add_char b '\012'; go ()
+          | Some 'u' ->
+            advance ();
+            let h = ref 0 in
+            for _ = 1 to 4 do
+              (match peek () with
+              | Some c -> (
+                let d =
+                  match c with
+                  | '0' .. '9' -> Char.code c - Char.code '0'
+                  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                  | _ -> fail "bad \\u escape"
+                in
+                h := (!h * 16) + d)
+              | None -> fail "bad \\u escape");
+              advance ()
+            done;
+            (* The emitter only \u-escapes control characters. *)
+            Buffer.add_char b (Char.chr (!h land 0xff));
+            go ()
+          | _ -> fail "bad escape")
+        | Some c when Char.code c < 0x20 -> fail "raw control character"
+        | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> fail "empty input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let get_str = function Some (Str s) -> s | _ -> raise (Bad "expected string")
+  let get_arr = function Some (Arr a) -> a | _ -> raise (Bad "expected array")
+end
+
+(* Diagnostics with every JSON-hostile character the messages can carry. *)
+let nasty_diags () =
+  [ Verify.Diagnostic.v ~code:"GSR-B01" Verify.Diagnostic.Error
+      Verify.Diagnostic.Bounds ~loc:"axis \"i\"" "tile > extent \\ %s" "q\"uo\"te";
+    Verify.Diagnostic.v ~code:"GSR-R02" Verify.Diagnostic.Warning
+      Verify.Diagnostic.Race ~loc:"kernel line 3" "line1\nline2\ttabbed";
+    Verify.Diagnostic.v ~code:"GSR-C04" Verify.Diagnostic.Info
+      Verify.Diagnostic.Cert ~loc:"region" "control \001 char" ]
+
+let test_json_export_valid () =
+  let items =
+    [ Verify.Export.item ~target:"dev/op \"x\"" (nasty_diags ());
+      Verify.Export.item ~region:"32 <= i <= 256" ~target:"dev/op2" [] ]
+  in
+  let doc = Json.parse (Verify.Export.json items) in
+  Alcotest.(check string)
+    "tool name" "gensor-verify"
+    (Json.get_str (Json.member "tool" doc));
+  let parsed_items = Json.get_arr (Json.member "items" doc) in
+  Alcotest.(check int) "two items" 2 (List.length parsed_items);
+  let summary = Option.get (Json.member "summary" doc) in
+  Alcotest.(check string) "error tally" "1."
+    (Fmt.str "%g." (match Json.member "errors" summary with
+                    | Some (Json.Num f) -> f
+                    | _ -> nan));
+  (* round-trips the hostile message bytes *)
+  let first = List.hd parsed_items in
+  let diags = Json.get_arr (Json.member "diagnostics" first) in
+  check_bool "escaped message round-trips" true
+    (List.exists
+       (fun d ->
+         Json.get_str (Json.member "message" d) = "tile > extent \\ q\"uo\"te")
+       diags)
+
+let test_sarif_export_valid () =
+  let items =
+    [ Verify.Export.item ~target:"rtx4090/M1/gensor" (nasty_diags ()) ]
+  in
+  let doc = Json.parse (Verify.Export.sarif items) in
+  Alcotest.(check string)
+    "sarif version" "2.1.0"
+    (Json.get_str (Json.member "version" doc));
+  check_bool "schema uri present" true
+    (contains (Json.get_str (Json.member "$schema" doc)) "sarif-2.1.0");
+  let runs = Json.get_arr (Json.member "runs" doc) in
+  Alcotest.(check int) "one run" 1 (List.length runs);
+  let run = List.hd runs in
+  let driver = Json.member "driver" (Option.get (Json.member "tool" run)) in
+  Alcotest.(check string)
+    "driver name" "gensor-verify"
+    (Json.get_str (Json.member "name" (Option.get driver)));
+  let rule_ids =
+    List.map
+      (fun r -> Json.get_str (Json.member "id" r))
+      (Json.get_arr (Json.member "rules" (Option.get driver)))
+  in
+  let results = Json.get_arr (Json.member "results" run) in
+  Alcotest.(check int) "one result per diagnostic" 3 (List.length results);
+  List.iter
+    (fun r ->
+      let rule_id = Json.get_str (Json.member "ruleId" r) in
+      check_bool "ruleId is a listed rule" true (List.mem rule_id rule_ids);
+      let level = Json.get_str (Json.member "level" r) in
+      check_bool "level is a SARIF level" true
+        (List.mem level [ "error"; "warning"; "note" ]);
+      check_bool "message text present" true
+        (Json.member "text" (Option.get (Json.member "message" r)) <> None))
+    results
+
 let () =
   Alcotest.run "verify"
     [ ("positive",
@@ -250,4 +590,22 @@ let () =
          Alcotest.test_case "lint: wrong launch" `Quick
            test_lint_catches_wrong_launch;
          Alcotest.test_case "non-dividing tiles warn" `Quick
-           test_nondividing_warns_not_errors ]) ]
+           test_nondividing_warns_not_errors ]);
+      ("codes",
+       [ Alcotest.test_case "divergent barrier is GSR-R01" `Quick
+           test_divergent_barrier_code;
+         Alcotest.test_case "non-dividing tile is GSR-B04" `Quick
+           test_nondividing_code ]);
+      ("cert",
+       [ Alcotest.test_case "configured GEMM certifies" `Quick
+           test_cert_on_configured;
+         Alcotest.test_case "broken witness is refused" `Quick
+           test_cert_refuses_broken_witness;
+         Alcotest.test_case "structure change is rejected" `Quick
+           test_cert_rejects_structure_change;
+         QCheck_alcotest.to_alcotest prop_cert_sound ]);
+      ("export",
+       [ Alcotest.test_case "json is valid and escaped" `Quick
+           test_json_export_valid;
+         Alcotest.test_case "sarif 2.1.0 is well-formed" `Quick
+           test_sarif_export_valid ]) ]
