@@ -239,6 +239,75 @@ let model_cmd =
         (const run $ device_arg $ method_arg $ model_name_arg $ batch_arg
        $ cache_dir_arg $ no_incremental_arg $ trace_arg))
 
+(* ---------- graph ---------- *)
+
+(* Networks with a real dataflow builder get it; every other model name is
+   lifted best-effort from its flat layer table. *)
+let resolve_graph name ~batch =
+  match String.lowercase_ascii name with
+  | "resnet" | "resnet50" -> Ok (Dnn.Resnet.resnet50_graph ~batch ())
+  | "mobilenet" -> Ok (Dnn.Mobilenet.mobilenet_v2_graph ~batch ())
+  | "bert" -> Ok (Dnn.Transformer.bert_small_graph ~batch ())
+  | "gpt2" -> Ok (Dnn.Transformer.gpt2_graph ~batch ())
+  | other ->
+    Result.map Dnn.Graph.of_model (resolve_model other ~batch)
+
+let graph_dump_arg =
+  let doc = "Dump format: $(b,text) or $(b,dot) (Graphviz)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("dot", `Dot) ]) `Text
+    & info [ "dump" ] ~docv:"FORMAT" ~doc)
+
+let no_fuse_arg =
+  let doc = "Print the graph as built, without running the fusion pass." in
+  Arg.(value & flag & info [ "no-fuse" ] ~doc)
+
+let graph_cmd =
+  let run model_name batch dump no_fuse trace =
+    apply_trace trace;
+    match resolve_graph model_name ~batch with
+    | Error (`Msg m) -> `Error (false, m)
+    | Ok g ->
+      let fusion = if no_fuse then None else Some (Dnn.Fusion.fuse g) in
+      let fused =
+        match fusion with Some f -> f.Dnn.Fusion.graph | None -> g
+      in
+      (match dump with
+      | `Dot -> print_string (Dnn.Graph.to_dot fused)
+      | `Text ->
+        Fmt.pr "%a@." Dnn.Graph.pp_text g;
+        (match fusion with
+        | None -> ()
+        | Some f ->
+          Fmt.pr "@.fusion: %d group(s), %d op(s) folded, %d refused@."
+            (List.length f.Dnn.Fusion.groups)
+            (List.fold_left
+               (fun acc g -> acc + List.length g.Dnn.Fusion.folded)
+               0 f.Dnn.Fusion.groups)
+            (List.length f.Dnn.Fusion.refused);
+          List.iter
+            (fun grp -> Fmt.pr "  %a@." Dnn.Fusion.pp_group grp)
+            f.Dnn.Fusion.groups;
+          List.iter
+            (fun r -> Fmt.pr "  %a@." Dnn.Fusion.pp_refusal r)
+            f.Dnn.Fusion.refused;
+          Fmt.pr "@.fused %a@." Dnn.Graph.pp_text fused);
+        Fmt.pr "@.%a@." Dnn.Memplan.pp_full (Dnn.Memplan.plan fused));
+      report_trace ();
+      `Ok ()
+  in
+  let doc =
+    "Print a model's dataflow graph (text or Graphviz), the epilogue-fusion \
+     groups the pass chooses with any refusals and their GSR-F* codes, and \
+     the live-range / peak-intermediate-footprint plan."
+  in
+  Cmd.v (Cmd.info "graph" ~doc)
+    Term.(
+      ret
+        (const run $ model_name_arg $ batch_arg $ graph_dump_arg $ no_fuse_arg
+       $ trace_arg))
+
 (* ---------- verify ---------- *)
 
 let verify_device_arg =
@@ -670,14 +739,14 @@ let bench_arm ?(warmup = 0) ~name ~jobs ~runs ?states f =
     b_hit_rate = hit_rate; b_prune_rate = None; b_jobs = jobs;
     b_counters = counters }
 
-let bench_json rows ~jobs ~speedup ~speedup_incremental =
+let bench_json rows ~networks ~jobs ~speedup ~speedup_incremental =
   let buf = Buffer.create 1024 in
   let field_opt = function
     | None -> "null"
     | Some v -> Fmt.str "%.3f" v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/3\",\n";
+  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/4\",\n";
   Buffer.add_string buf (Fmt.str "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf
     (Fmt.str "  \"cpus\": %d,\n" (Domain.recommended_domain_count ()));
@@ -686,6 +755,28 @@ let bench_json rows ~jobs ~speedup ~speedup_incremental =
   Buffer.add_string buf
     (Fmt.str "  \"speedup_incremental_vs_full\": %s,\n"
        (field_opt speedup_incremental));
+  (* network-e2e arm: fused-vs-unfused whole-network latency from the graph
+     schedule (Table-IV-style), one line per model. *)
+  Buffer.add_string buf "  \"networks\": [\n";
+  List.iteri
+    (fun i (label, (c : Dnn.Runner.fusion_comparison)) ->
+      let f = c.Dnn.Runner.fc_fused and u = c.Dnn.Runner.fc_unfused in
+      Buffer.add_string buf
+        (Fmt.str
+           "    { \"name\": %S, \"e2e_unfused_ms\": %.4f, \
+            \"e2e_fused_ms\": %.4f, \"fusion_speedup\": %.3f, \
+            \"folded\": %d, \"kernels_unfused\": %d, \"kernels_fused\": %d, \
+            \"peak_unfused_bytes\": %d, \"peak_fused_bytes\": %d }%s\n"
+           label
+           (u.Dnn.Runner.g_e2e_s *. 1e3)
+           (f.Dnn.Runner.g_e2e_s *. 1e3)
+           (Dnn.Runner.fusion_speedup c)
+           f.Dnn.Runner.g_folded u.Dnn.Runner.g_kernels
+           f.Dnn.Runner.g_kernels u.Dnn.Runner.g_peak_bytes
+           f.Dnn.Runner.g_peak_bytes
+           (if i = List.length networks - 1 then "" else ",")))
+    networks;
+  Buffer.add_string buf "  ],\n";
   Buffer.add_string buf "  \"benchmarks\": [\n";
   List.iteri
     (fun i r ->
@@ -963,6 +1054,37 @@ let bench_cmd =
              assert (lookup = Dnn.Kernel_cache.Hit);
              0)));
     let rows = List.rev !rows in
+    (* network-e2e arm: compile all three networks through the graph path,
+       fused and unfused, and report whole-network latency from the graph
+       schedule.  Roller keeps the arm cheap; the fused-vs-unfused delta is
+       method-independent enough for the guard below. *)
+    let networks =
+      Trace.with_span ~name:"bench.network-e2e" @@ fun () ->
+      List.map
+        (fun (label, g) ->
+          (label, Dnn.Runner.compare_fusion ~jobs ~hw roller_method g))
+        [ ("resnet50", Dnn.Resnet.resnet50_graph ~batch:8 ());
+          ("mobilenet", Dnn.Mobilenet.mobilenet_v2_graph ~batch:8 ());
+          ("bert", Dnn.Transformer.bert_small_graph ~batch:8 ()) ]
+    in
+    Fmt.pr "@.";
+    Report.Table.print
+      (Report.Table.v
+         ~headers:
+           [ "network"; "unfused ms"; "fused ms"; "speedup"; "folded";
+             "peak unfused"; "peak fused" ]
+         (List.map
+            (fun (label, (c : Dnn.Runner.fusion_comparison)) ->
+              let f = c.Dnn.Runner.fc_fused
+              and u = c.Dnn.Runner.fc_unfused in
+              [ label;
+                Fmt.str "%.3f" (u.Dnn.Runner.g_e2e_s *. 1e3);
+                Fmt.str "%.3f" (f.Dnn.Runner.g_e2e_s *. 1e3);
+                Fmt.str "%.2fx" (Dnn.Runner.fusion_speedup c);
+                string_of_int f.Dnn.Runner.g_folded;
+                Fmt.str "%a" Dnn.Memplan.pp_bytes u.Dnn.Runner.g_peak_bytes;
+                Fmt.str "%a" Dnn.Memplan.pp_bytes f.Dnn.Runner.g_peak_bytes ])
+            networks));
     let speedup = seq.b_ns /. par.b_ns in
     (* states/s is the honest incremental-vs-full metric: both arms run the
        same chains, but the full arm may stop on the wall-clock budget with
@@ -988,16 +1110,40 @@ let bench_cmd =
     | None -> ()
     | Some file ->
       let oc = open_out file in
-      output_string oc (bench_json rows ~jobs ~speedup ~speedup_incremental);
+      output_string oc
+        (bench_json rows ~networks ~jobs ~speedup ~speedup_incremental);
       close_out oc;
       Fmt.pr "wrote %s@." file);
     report_trace ();
     match check_file with
     | None -> `Ok ()
     | Some file -> (
-      match check_against_baseline rows file with
-      | Ok () -> `Ok ()
-      | Error m -> `Error (false, m))
+      (* Besides the throughput baseline, --check guards the fusion win
+         itself: the graph path must beat its own unfused schedule on the
+         residual and transformer networks (the paper's Table-IV setting). *)
+      let fusion_failures =
+        List.filter_map
+          (fun (label, c) ->
+            if
+              List.mem label [ "resnet50"; "bert" ]
+              && Dnn.Runner.fusion_speedup c <= 1.0
+            then Some label
+            else None)
+          networks
+      in
+      match (check_against_baseline rows file, fusion_failures) with
+      | Ok (), [] -> `Ok ()
+      | Ok (), names ->
+        `Error
+          ( false,
+            Fmt.str "fused e2e does not beat unfused on: %s"
+              (String.concat ", " names) )
+      | Error m, [] -> `Error (false, m)
+      | Error m, names ->
+        `Error
+          ( false,
+            Fmt.str "%s; fused e2e does not beat unfused on: %s" m
+              (String.concat ", " names) ))
   in
   let doc =
     "Micro-benchmark the optimisers (compile-time wall clock), optionally \
@@ -1174,6 +1320,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; ops_cmd; model_cmd; devices_cmd; verify_cmd;
-            analyze_cmd;
+          [ compile_cmd; ops_cmd; model_cmd; graph_cmd; devices_cmd;
+            verify_cmd; analyze_cmd;
             bench_cmd; cache_cmd; trace_cmd ]))

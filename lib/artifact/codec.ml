@@ -143,6 +143,22 @@ let next_line c =
   in
   go ()
 
+(* First word of the next non-blank line, without consuming anything —
+   lets decoders branch on optional trailing fields. *)
+let peek_key c =
+  let rec go i =
+    if i >= Array.length c.lines then None
+    else begin
+      let l = String.trim c.lines.(i) in
+      if l = "" then go (i + 1)
+      else
+        match String.index_opt l ' ' with
+        | Some j -> Some (String.sub l 0 j)
+        | None -> Some l
+    end
+  in
+  go c.pos
+
 (* [field c key] reads the next non-blank line, checks that its leading word
    is [key] and returns the remaining tokens with the line number. *)
 let field c key =

@@ -51,6 +51,10 @@ val at_end : cursor -> bool
 (** Next non-blank line with its file line number. *)
 val next_line : cursor -> (int * string, error) result
 
+(** Leading word of the next non-blank line without consuming it — lets
+    decoders branch on optional trailing fields; [None] at end. *)
+val peek_key : cursor -> string option
+
 (** [field c key] consumes the next line, requires its leading word to be
     [key], and returns the remaining tokens. *)
 val field : cursor -> string -> (int * token list, error) result

@@ -145,6 +145,10 @@ let encode c =
         (combine_atom (Compute.combine c));
       Fmt.str "body %s" (Codec.sexp_to_string (expr_to_sexp (Compute.body c)))
     ]
+  @
+  match Compute.epilogue c with
+  | None -> []
+  | Some e -> [ Fmt.str "epilogue %s" (Codec.sexp_to_string (expr_to_sexp e)) ]
 
 let ( let+ ) r f = Result.map f r
 
@@ -209,9 +213,19 @@ let decode cur =
   let* ln_body, toks = Codec.field cur "body" in
   let* body_sexp = Codec.sexp_of_tokens ~line:ln_body toks in
   let* body = expr_of_sexp ~line:ln_body body_sexp in
+  (* Optional trailing field: fused computes carry a pointwise epilogue. *)
+  let* epilogue =
+    match Codec.peek_key cur with
+    | Some "epilogue" ->
+      let* ln_epi, toks = Codec.field cur "epilogue" in
+      let* epi_sexp = Codec.sexp_of_tokens ~line:ln_epi toks in
+      let* e = expr_of_sexp ~line:ln_epi epi_sexp in
+      Ok (Some e)
+    | _ -> Ok None
+  in
   match
     Compute.v ~name ~axes ~inputs ~out_name ~out_dtype ~init ~combine ~scale
-      ~body ()
+      ?epilogue ~body ()
   with
   | exception Invalid_argument m ->
     Codec.error start "invalid compute definition: %s" m

@@ -17,23 +17,40 @@ let indices_to_c indices env =
   String.concat ""
     (List.map (fun idx -> Fmt.str "[%s]" (Index.to_string (Index.subst ~bindings:env idx))) indices)
 
-let rec expr_to_c env (expr : Expr.t) =
+(* [special] renders selected accesses directly (the fused epilogue's
+   accumulator read); everything else is a plain indexed load. *)
+let rec expr_to_c ?(special = fun _ -> None) env (expr : Expr.t) =
+  let to_c e = expr_to_c ~special env e in
   match expr with
   | Expr.Imm f -> Fmt.str "%gf" f
-  | Expr.Read access ->
-    Fmt.str "%s%s" (Access.tensor access)
-      (indices_to_c (Access.indices access) env)
-  | Expr.Neg a -> Fmt.str "(-%s)" (expr_to_c env a)
-  | Expr.Add (a, b) -> Fmt.str "(%s + %s)" (expr_to_c env a) (expr_to_c env b)
-  | Expr.Sub (a, b) -> Fmt.str "(%s - %s)" (expr_to_c env a) (expr_to_c env b)
-  | Expr.Mul (a, b) -> Fmt.str "(%s * %s)" (expr_to_c env a) (expr_to_c env b)
-  | Expr.Div (a, b) -> Fmt.str "(%s / %s)" (expr_to_c env a) (expr_to_c env b)
-  | Expr.Max (a, b) ->
-    Fmt.str "fmaxf(%s, %s)" (expr_to_c env a) (expr_to_c env b)
-  | Expr.Min (a, b) ->
-    Fmt.str "fminf(%s, %s)" (expr_to_c env a) (expr_to_c env b)
+  | Expr.Read access -> (
+    match special access with
+    | Some s -> s
+    | None ->
+      Fmt.str "%s%s" (Access.tensor access)
+        (indices_to_c (Access.indices access) env))
+  | Expr.Neg a -> Fmt.str "(-%s)" (to_c a)
+  | Expr.Add (a, b) -> Fmt.str "(%s + %s)" (to_c a) (to_c b)
+  | Expr.Sub (a, b) -> Fmt.str "(%s - %s)" (to_c a) (to_c b)
+  | Expr.Mul (a, b) -> Fmt.str "(%s * %s)" (to_c a) (to_c b)
+  | Expr.Div (a, b) -> Fmt.str "(%s / %s)" (to_c a) (to_c b)
+  | Expr.Max (a, b) -> Fmt.str "fmaxf(%s, %s)" (to_c a) (to_c b)
+  | Expr.Min (a, b) -> Fmt.str "fminf(%s, %s)" (to_c a) (to_c b)
 
 let ceil_div a b = (a + b - 1) / b
+
+(* Fused computes carry composite names ("gemm+relu"); the kernel symbol
+   must stay a C identifier. *)
+let kernel_symbol compute =
+  let name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      (Compute.name compute)
+  in
+  name ^ "_kernel"
 
 let emit etir =
   let compute = Etir.compute etir in
@@ -43,7 +60,7 @@ let emit etir =
   let n = Array.length spatial and m = Array.length reduce in
   let buf = Buffer.create 4096 in
   let pr fmt = Fmt.kstr (fun s -> buffer_add buf s) fmt in
-  let kernel_name = Fmt.str "%s_kernel" (Compute.name compute) in
+  let kernel_name = kernel_symbol compute in
   (* Signature: const inputs then the output. *)
   let params =
     String.concat ", "
@@ -176,12 +193,29 @@ let emit etir =
     String.concat ""
       (List.init n (fun i -> Fmt.str "[%s_block]" (Axis.name spatial.(i))))
   in
-  pr "  // epilogue: write back the accumulator tile\n";
-  if Compute.scale compute = 1.0 then
-    pr "  %s%s = acc[0];\n" (Compute.out_name compute) out_coords
-  else
-    pr "  %s%s = acc[0] * %gf;\n" (Compute.out_name compute) out_coords
-      (Compute.scale compute);
+  let acc_c =
+    if Compute.scale compute = 1.0 then "acc[0]"
+    else Fmt.str "(acc[0] * %gf)" (Compute.scale compute)
+  in
+  (match Compute.epilogue compute with
+   | None ->
+     pr "  // epilogue: write back the accumulator tile\n";
+     pr "  %s%s = %s;\n" (Compute.out_name compute) out_coords acc_c
+   | Some e ->
+     (* Fused epilogue: evaluated at the block-tile coordinates; the
+        accumulator read of the output renders as the register value. *)
+     pr "  // epilogue: fused pointwise tail over the accumulator tile\n";
+     let env =
+       List.init n (fun i ->
+           let name = Axis.name spatial.(i) in
+           (name, Index.var (name ^ "_block")))
+     in
+     let special access =
+       if Access.tensor access = Compute.out_name compute then Some acc_c
+       else None
+     in
+     pr "  %s%s = %s;\n" (Compute.out_name compute) out_coords
+       (expr_to_c ~special env e));
   pr "}\n";
   Buffer.contents buf
 
@@ -191,8 +225,8 @@ let emit_host etir =
   let launch = Launch.of_etir etir in
   let gx, gy, gz = launch.Launch.grid and bx, by, bz = launch.Launch.block in
   Fmt.str
-    "dim3 grid(%d, %d, %d);\ndim3 block(%d, %d, %d);\n%s_kernel<<<grid, block, %d>>>(%s);\n"
-    gx gy gz bx by bz (Compute.name compute) launch.Launch.smem_bytes
+    "dim3 grid(%d, %d, %d);\ndim3 block(%d, %d, %d);\n%s<<<grid, block, %d>>>(%s);\n"
+    gx gy gz bx by bz (kernel_symbol compute) launch.Launch.smem_bytes
     (String.concat ", "
        (List.map (fun i -> i.Compute.in_name) (Compute.inputs compute)
        @ [ Compute.out_name compute ]))

@@ -5,6 +5,11 @@
     chunk).  Rendering only — this environment has no GPU toolchain; the
     test suite asserts structural invariants of the text. *)
 
+(** C-identifier kernel symbol for a compute ([<name>_kernel] with
+    non-identifier characters, e.g. the ['+'] of fused names, mangled to
+    ['_']).  Shared with the lint pass so text and checker agree. *)
+val kernel_symbol : Tensor_lang.Compute.t -> string
+
 (** Kernel source text. *)
 val emit : Sched.Etir.t -> string
 

@@ -18,14 +18,16 @@ let dtype_of_input (compute : Compute.t) tensor =
     invalid_arg (Fmt.str "Footprint: access to unknown tensor %s" tensor)
 
 (* Per-input footprint of one representative level-[level] tile, in
-   elements. *)
+   elements.  Epilogue operands (bias vectors, residual tensors) are staged
+   like body operands; the accumulator read is excluded by
+   [Compute.epilogue_accesses]. *)
 let input_elems etir ~level =
   let compute = Sched.Etir.compute etir in
   let env = Sched.Etir.tile_env etir ~level in
   List.map
     (fun access ->
       (Access.tensor access, Access.footprint_elems ~env access))
-    (Expr.accesses (Compute.body compute))
+    (Expr.accesses (Compute.body compute) @ Compute.epilogue_accesses compute)
 
 (* The interval analysis is the single hottest computation in construction:
    every transition benefit needs the footprint of both endpoints at one or

@@ -87,9 +87,18 @@ type t = {
    collide with the structural part; axis markers carry the kind, so a
    spatial "k" and a reduce "k" stay distinct. *)
 
+(* Fused-tail marker: composite names alone cannot distinguish two fusions
+   of the same ops with different tail expressions, so keys of computes
+   carrying an epilogue append its extent-free structural hash (stable
+   across a shape family, so warm starts still group fused kernels). *)
+let epilogue_marker compute =
+  match Compute.epilogue_fingerprint compute with
+  | None -> ""
+  | Some fp -> Fmt.str " ep:%016Lx" fp
+
 (* Exact key: quoted name plus every axis as kind-marker + extent. *)
 let shape_key compute =
-  Fmt.str "%s %s"
+  Fmt.str "%s %s%s"
     (Printf.sprintf "%S" (Compute.name compute))
     (String.concat "x"
        (List.map
@@ -98,11 +107,12 @@ let shape_key compute =
               (if Axis.is_reduce ax then "r" else "s")
               (Axis.extent ax))
           (Compute.axes compute)))
+    (epilogue_marker compute)
 
 (* Family key: quoted name plus the axis *structure* (quoted names and
    kinds), ignoring extents — schedules retarget within a family. *)
 let family_key compute =
-  Fmt.str "%s %s"
+  Fmt.str "%s %s%s"
     (Printf.sprintf "%S" (Compute.name compute))
     (String.concat ","
        (List.map
@@ -111,6 +121,7 @@ let family_key compute =
               (Printf.sprintf "%S" (Axis.name ax))
               (if Axis.is_reduce ax then "~" else ""))
           (Compute.axes compute)))
+    (epilogue_marker compute)
 
 let family_of t fkey =
   match Hashtbl.find_opt t.families fkey with

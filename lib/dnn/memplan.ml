@@ -1,0 +1,133 @@
+(* Inter-op memory-reuse planner: tensor live ranges over the graph's
+   topological order, the peak intermediate footprint, and a greedy
+   first-fit arena assignment showing how much reuse the schedule admits.
+
+   Each node's output is one intermediate tensor, born when the node runs
+   (its topological position) and dead after its last consumer runs;
+   network outputs stay live to the end.  Weights and network inputs are
+   not graph nodes, so they are deliberately outside the plan — this is
+   the *intermediate* footprint, the quantity inter-op scheduling can
+   actually shrink.  [count]-folded repetitions reuse one buffer, so a
+   node contributes its output bytes once. *)
+
+type range = {
+  node_id : int;
+  node_name : string;
+  bytes : int;
+  born : int;  (* topological position producing the tensor *)
+  dies : int;  (* last position reading it (inclusive) *)
+  slot : int;  (* arena slot from the greedy first-fit assignment *)
+}
+
+type t = {
+  ranges : range list;
+  peak_bytes : int;
+  peak_at : int;       (* topological position where the peak occurs *)
+  total_bytes : int;   (* sum of all intermediates, i.e. no-reuse arena *)
+  arena_bytes : int;   (* arena size after greedy slot reuse *)
+  slots : int;
+}
+
+let output_bytes node =
+  Tensor_lang.Compute.output_bytes (Ops.Op.compute node.Graph.op)
+
+let plan g =
+  let nodes = Array.of_list (Graph.nodes g) in
+  let n = Array.length nodes in
+  let succ = Graph.consumers g in
+  let dies = Array.make n 0 in
+  Array.iteri
+    (fun i node ->
+      dies.(i) <-
+        (match succ.(node.Graph.id) with
+        | [] -> n - 1  (* network output: live to the end *)
+        | consumers -> List.fold_left max 0 consumers))
+    nodes;
+  (* Peak: sweep positions, summing tensors alive at each. *)
+  let peak = ref 0 and peak_at = ref 0 in
+  for t = 0 to n - 1 do
+    let alive = ref 0 in
+    Array.iteri
+      (fun i node ->
+        if i <= t && dies.(i) >= t then alive := !alive + output_bytes node)
+      nodes;
+    if !alive > !peak then begin
+      peak := !alive;
+      peak_at := t
+    end
+  done;
+  (* Greedy first-fit arena: a slot freed after its tensor's last reader
+     is reusable by any later tensor; slot size grows to the max tensor it
+     ever held. *)
+  let slot_free_at = ref [] (* (slot, free_position) *) in
+  let slot_bytes = ref [] (* (slot, max bytes) *) in
+  let next_slot = ref 0 in
+  let assigned =
+    Array.mapi
+      (fun i node ->
+        let bytes = output_bytes node in
+        let reusable =
+          List.filter (fun (_, free) -> free < i) !slot_free_at
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let slot =
+          match reusable with
+          | (s, _) :: _ -> s
+          | [] ->
+            let s = !next_slot in
+            incr next_slot;
+            s
+        in
+        slot_free_at :=
+          (slot, dies.(i)) :: List.remove_assoc slot !slot_free_at;
+        slot_bytes :=
+          (slot, max bytes (Option.value ~default:0 (List.assoc_opt slot !slot_bytes)))
+          :: List.remove_assoc slot !slot_bytes;
+        slot)
+      nodes
+  in
+  let ranges =
+    Array.to_list
+      (Array.mapi
+         (fun i node ->
+           { node_id = node.Graph.id;
+             node_name = node.Graph.node_name;
+             bytes = output_bytes node;
+             born = i;
+             dies = dies.(i);
+             slot = assigned.(i) })
+         nodes)
+  in
+  let total_bytes =
+    List.fold_left (fun acc r -> acc + r.bytes) 0 ranges
+  in
+  let arena_bytes =
+    List.fold_left (fun acc (_, b) -> acc + b) 0 !slot_bytes
+  in
+  { ranges; peak_bytes = !peak; peak_at = !peak_at; total_bytes;
+    arena_bytes; slots = !next_slot }
+
+let reuse_factor t =
+  if t.arena_bytes = 0 then 1.0
+  else float_of_int t.total_bytes /. float_of_int t.arena_bytes
+
+let pp_bytes ppf b =
+  if b >= 1 lsl 20 then Fmt.pf ppf "%.1f MiB" (float_of_int b /. 1048576.0)
+  else if b >= 1 lsl 10 then Fmt.pf ppf "%.1f KiB" (float_of_int b /. 1024.0)
+  else Fmt.pf ppf "%d B" b
+
+let pp_range ppf r =
+  Fmt.pf ppf "n%d %-24s %10s  live [%d..%d]  slot %d" r.node_id r.node_name
+    (Fmt.str "%a" pp_bytes r.bytes)
+    r.born r.dies r.slot
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>peak intermediate footprint %a (at position %d)@,\
+     total intermediates %a in %d tensors; arena after reuse %a in %d \
+     slots (%.2fx reuse)@]"
+    pp_bytes t.peak_bytes t.peak_at pp_bytes t.total_bytes
+    (List.length t.ranges) pp_bytes t.arena_bytes t.slots (reuse_factor t)
+
+let pp_full ppf t =
+  Fmt.pf ppf "@[<v>%a@,%a@]" pp t Fmt.(list ~sep:cut pp_range) t.ranges

@@ -78,3 +78,102 @@ let mobilenet_v2 ?(batch = 8) ?(width_mult = 1.0) () =
     else Fmt.str "MobileNetV2 x%.2f" width_mult
   in
   Model.v ~name ~batch (layers @ head)
+
+(* ---------- graph form ---------- *)
+
+(* MobileNetV2 as a real dataflow graph.  Unlike the flat table (one relu6
+   per block), every inverted residual is spelled out: expand conv + relu6,
+   depthwise conv + relu6, linear projection, and — when the block keeps its
+   shape (stride 1, matching channels) — the residual add back onto the
+   block input.  The fusion pass folds each relu6 into its conv and the add
+   into the projection, recovering the per-block kernel structure a fused
+   runtime launches.  All 17 blocks are explicit, so skip edges are real;
+   kernel dedup still collapses identically-shaped blocks at compile time. *)
+let mobilenet_v2_graph ?(batch = 8) ?(width_mult = 1.0) () =
+  let ch c = scale_channels ~width_mult c in
+  let name =
+    if width_mult = 1.0 then "MobileNetV2"
+    else Fmt.str "MobileNetV2 x%.2f" width_mult
+  in
+  let g = Graph.builder ~name ~batch in
+  let relu name ~from ~shape =
+    Graph.add g ~deps:[ ("X", from) ] name (Ops.Elementwise.relu ~shape ())
+  in
+  let stem_c = ch 32 in
+  let stem =
+    Graph.add g "stem"
+      (Ops.Conv.conv2d ~batch ~in_channels:3 ~out_channels:stem_c ~height:224
+         ~width:224 ~kernel:3 ~stride:2 ~pad:1 ())
+  in
+  let x = relu "stem.relu6" ~from:stem ~shape:[ batch; stem_c; 112; 112 ] in
+  let block ~tag ~input ~in_c ~out_c ~expand ~size ~stride =
+    let mid = in_c * expand in
+    let out_size = size / stride in
+    let x =
+      if expand = 1 then input
+      else begin
+        let e =
+          Graph.add g ~deps:[ ("I", input) ] (tag ^ ".expand")
+            (Ops.Conv.conv2d ~batch ~in_channels:in_c ~out_channels:mid
+               ~height:size ~width:size ~kernel:1 ~stride:1 ())
+        in
+        relu (tag ^ ".expand.relu6") ~from:e ~shape:[ batch; mid; size; size ]
+      end
+    in
+    let dw =
+      Graph.add g ~deps:[ ("I", x) ] (tag ^ ".dwconv")
+        (Ops.Conv.depthwise_conv2d ~batch ~channels:mid ~height:size
+           ~width:size ~kernel:3 ~stride ~pad:1 ())
+    in
+    let dwr =
+      relu (tag ^ ".dwconv.relu6") ~from:dw
+        ~shape:[ batch; mid; out_size; out_size ]
+    in
+    let proj =
+      Graph.add g ~deps:[ ("I", dwr) ] (tag ^ ".project")
+        (Ops.Conv.conv2d ~batch ~in_channels:mid ~out_channels:out_c
+           ~height:out_size ~width:out_size ~kernel:1 ~stride:1 ())
+    in
+    if stride = 1 && in_c = out_c then
+      Graph.add g ~deps:[ ("X", proj); ("Y", input) ] (tag ^ ".add")
+        (Ops.Elementwise.add ~shape:[ batch; out_c; out_size; out_size ] ())
+    else proj
+  in
+  let rec build_group x in_c size block_no = function
+    | [] -> (x, in_c, size)
+    | (expand, out_c, repeats, first_stride) :: rest ->
+      let out_c = ch out_c in
+      let rec repeat x in_c size block_no i =
+        if i = repeats then (x, in_c, size, block_no)
+        else begin
+          let stride = if i = 0 then first_stride else 1 in
+          let x =
+            block ~tag:(Fmt.str "b%d" block_no) ~input:x ~in_c ~out_c ~expand
+              ~size ~stride
+          in
+          repeat x out_c (size / stride) (block_no + 1) (i + 1)
+        end
+      in
+      let x, in_c, size, block_no = repeat x in_c size block_no 0 in
+      build_group x in_c size block_no rest
+  in
+  let x, last_c, last_size = build_group x stem_c 112 1 groups in
+  let head_c = ch 1280 in
+  let hc =
+    Graph.add g ~deps:[ ("I", x) ] "head.conv"
+      (Ops.Conv.conv2d ~batch ~in_channels:last_c ~out_channels:head_c
+         ~height:last_size ~width:last_size ~kernel:1 ~stride:1 ())
+  in
+  let hr =
+    relu "head.relu6" ~from:hc ~shape:[ batch; head_c; last_size; last_size ]
+  in
+  let _ap =
+    Graph.add g ~deps:[ ("I", hr) ] "head.avgpool"
+      (Ops.Pool.avgpool2d ~batch ~channels:head_c ~height:last_size
+         ~width:last_size ~window:last_size ~stride:last_size ())
+  in
+  let _fc =
+    Graph.add g "head.fc"
+      (Ops.Matmul.gemm ~name:"fc" ~m:batch ~k:head_c ~n:1000 ())
+  in
+  Graph.build g

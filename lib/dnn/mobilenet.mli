@@ -3,3 +3,7 @@
 
 val scale_channels : width_mult:float -> int -> int
 val mobilenet_v2 : ?batch:int -> ?width_mult:float -> unit -> Model.t
+
+(** MobileNetV2 as a dataflow graph: all 17 inverted residuals explicit,
+    with per-conv relu6 nodes and real skip edges. *)
+val mobilenet_v2_graph : ?batch:int -> ?width_mult:float -> unit -> Graph.t

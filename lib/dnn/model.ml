@@ -32,11 +32,16 @@ let total_flops t =
     (fun acc l -> acc +. (float_of_int l.count *. float_of_int (Ops.Op.flops l.op)))
     0.0 t.layers
 
-(* Distinct operators by compute signature: kernels are compiled once and
-   reused across occurrences. *)
+(* Distinct operators by compute identity: kernels are compiled once and
+   reused across occurrences.  Keyed on the full structural fingerprint
+   (Compute.fingerprint walks every node) rather than pretty-printing the
+   definition — printing allocated a multi-line string per dedup lookup and
+   tied key stability to printer output. *)
 let distinct_key op =
   let compute = Ops.Op.compute op in
-  Fmt.str "%s|%a" (Ops.Op.kind_to_string (Ops.Op.kind op)) Tensor_lang.Compute.pp compute
+  Fmt.str "%s|%016Lx"
+    (Ops.Op.kind_to_string (Ops.Op.kind op))
+    (Tensor_lang.Compute.fingerprint compute)
 
 let distinct_ops t =
   let seen = Hashtbl.create 32 in

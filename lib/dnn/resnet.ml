@@ -74,6 +74,107 @@ let resnet50 ?(batch = 8) () =
   in
   Model.v ~name:"ResNet-50" ~batch (layers @ head)
 
+(* ---------- graph form ---------- *)
+
+(* ResNet-50 as a real dataflow graph: every bottleneck carries its residual
+   add and per-conv relu explicitly, so the fusion pass can fold them back
+   into the convolutions (conv+relu, expand+add+relu).  Stages still collapse
+   the identical repeat blocks into one representative node set with
+   [count = blocks - 1] — edges inside the representative are real; the
+   block-to-block self edge is approximated by chaining onto the first
+   block's output, which has the same shape.  The stem demonstrates the
+   bias-add tail (conv1 + bias + relu fold into one kernel); the final
+   flatten before [fc] is a rank change the IR has no node for, so the
+   classifier is a root. *)
+let resnet50_graph ?(batch = 8) () =
+  let g = Graph.builder ~name:"ResNet-50" ~batch in
+  let conv name ?count ?from ~ci ~co ~size ~k ~s ~p () =
+    Graph.add g ?count
+      ~deps:(match from with None -> [] | Some p -> [ ("I", p) ])
+      name
+      (Ops.Conv.conv2d ~batch ~in_channels:ci ~out_channels:co ~height:size
+         ~width:size ~kernel:k ~stride:s ~pad:p ())
+  in
+  let relu name ?count ~from ~shape () =
+    Graph.add g ?count ~deps:[ ("X", from) ] name
+      (Ops.Elementwise.relu ~shape ())
+  in
+  let bottleneck ~tag ?count ~input ~in_c ~mid ~out_c ~size ~stride () =
+    let out_size = size / stride in
+    let oshape = [ batch; out_c; out_size; out_size ] in
+    let reduce =
+      conv (tag ^ ".reduce") ?count ~from:input ~ci:in_c ~co:mid ~size ~k:1
+        ~s:1 ~p:0 ()
+    in
+    let ra =
+      relu (tag ^ ".relu_a") ?count ~from:reduce
+        ~shape:[ batch; mid; size; size ] ()
+    in
+    let c3 =
+      conv (tag ^ ".conv3x3") ?count ~from:ra ~ci:mid ~co:mid ~size ~k:3
+        ~s:stride ~p:1 ()
+    in
+    let rb =
+      relu (tag ^ ".relu_b") ?count ~from:c3
+        ~shape:[ batch; mid; out_size; out_size ] ()
+    in
+    let expand =
+      conv (tag ^ ".expand") ?count ~from:rb ~ci:mid ~co:out_c ~size:out_size
+        ~k:1 ~s:1 ~p:0 ()
+    in
+    let skip =
+      if stride = 1 && in_c = out_c then input
+      else
+        conv (tag ^ ".downsample") ?count ~from:input ~ci:in_c ~co:out_c ~size
+          ~k:1 ~s:stride ~p:0 ()
+    in
+    let sum =
+      Graph.add g ?count ~deps:[ ("X", expand); ("Y", skip) ] (tag ^ ".add")
+        (Ops.Elementwise.add ~shape:oshape ())
+    in
+    relu (tag ^ ".relu") ?count ~from:sum ~shape:oshape ()
+  in
+  let stage ~stage:s ~input ~in_c ~mid ~out_c ~size ~stride ~blocks =
+    let first =
+      bottleneck ~tag:(Fmt.str "s%d.b1" s) ~input ~in_c ~mid ~out_c ~size
+        ~stride ()
+    in
+    let out_size = size / stride in
+    if blocks <= 1 then (first, out_size)
+    else
+      ( bottleneck ~tag:(Fmt.str "s%d.bn" s) ~count:(blocks - 1) ~input:first
+          ~in_c:out_c ~mid ~out_c ~size:out_size ~stride:1 (),
+        out_size )
+  in
+  let c1 = conv "conv1" ~ci:3 ~co:64 ~size:224 ~k:7 ~s:2 ~p:3 () in
+  let cb =
+    Graph.add g ~deps:[ ("X", c1) ] "conv1.bias"
+      (Ops.Elementwise.bias_add ~shape:[ batch; 64; 112; 112 ] ())
+  in
+  let cr = relu "conv1.relu" ~from:cb ~shape:[ batch; 64; 112; 112 ] () in
+  let mp =
+    Graph.add g ~deps:[ ("I", cr) ] "maxpool"
+      (Ops.Pool.maxpool2d ~batch ~channels:64 ~height:112 ~width:112 ~window:2
+         ~stride:2 ())
+  in
+  let x, _ =
+    List.fold_left
+      (fun (x, size) (s, in_c, mid, out_c, stride, blocks) ->
+        stage ~stage:s ~input:x ~in_c ~mid ~out_c ~size ~stride ~blocks)
+      (mp, 56)
+      [ (2, 64, 64, 256, 1, 3); (3, 256, 128, 512, 2, 4);
+        (4, 512, 256, 1024, 2, 6); (5, 1024, 512, 2048, 2, 3) ]
+  in
+  let _ap =
+    Graph.add g ~deps:[ ("I", x) ] "avgpool"
+      (Ops.Pool.avgpool2d ~batch ~channels:2048 ~height:7 ~width:7 ~window:7
+         ~stride:7 ())
+  in
+  let _fc =
+    Graph.add g "fc" (Ops.Matmul.gemm ~name:"fc" ~m:batch ~k:2048 ~n:1000 ())
+  in
+  Graph.build g
+
 (* Basic-block variant for ResNet-34 (Fig. 10 uses it). *)
 let basic_stage ~batch ~stage ~in_c ~out_c ~in_size ~stride ~blocks =
   let out_size = in_size / stride in

@@ -5,3 +5,7 @@ val resnet34 : ?batch:int -> unit -> Model.t
 
 (** VGG-16: the classic all-3×3 convolution stack (~31 GFLOPs/image). *)
 val vgg16 : ?batch:int -> unit -> Model.t
+
+(** ResNet-50 as a dataflow graph: explicit per-block relu/bias/residual
+    nodes with real edges, ready for {!Fusion.fuse}. *)
+val resnet50_graph : ?batch:int -> unit -> Graph.t

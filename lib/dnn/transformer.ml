@@ -32,6 +32,85 @@ let encoder_stack ~prefix ~batch ~seq ~hidden ~heads ~ffn ~layers =
     eltwise (prefix ^ ".residual") ~shape:[ tokens; hidden ]
       ~count:(2 * layers) ]
 
+(* ---------- graph form ---------- *)
+
+(* Explicit encoder layers with the real residual stream: attention output
+   and FFN output each feed an add + layernorm pair that the fusion pass
+   folds back into the producing matmul (out_proj+residual+layernorm,
+   ffn_down+residual+layernorm), and softmax/gelu fold into the bmm/gemm
+   that feeds them.  The IR has no reshape/transpose node, so the
+   rank-changing hops inside attention — token-major [tokens, hidden] to
+   head-major [b·h, seq, d] and the key transpose — carry no edge; the
+   attention core is still chained (scores → softmax → context).  Operator
+   names stay layer-independent so kernel dedup collapses the repeats. *)
+let graph_stack ~name ~batch ~seq ~hidden ~heads ~ffn ~layers ~lm_head =
+  let tokens = batch * seq in
+  let head_dim = hidden / heads in
+  let g = Graph.builder ~name ~batch in
+  let gemm nm ?deps ~op ~m ~k ~n () =
+    Graph.add g ?deps nm (Ops.Matmul.gemm ~name:op ~m ~k ~n ())
+  in
+  let elt nm ~from ~shape =
+    Graph.add g ~deps:[ ("X", from) ] nm (Ops.Elementwise.relu ~shape ())
+  in
+  let layer_out x l =
+    let p fmt = Fmt.str "l%d.%s" l fmt in
+    let proj nm =
+      gemm (p nm) ~op:"qkv_proj"
+        ?deps:(Option.map (fun i -> [ ("A", i) ]) x)
+        ~m:tokens ~k:hidden ~n:hidden ()
+    in
+    let _q = proj "q_proj" and _k = proj "k_proj" and _v = proj "v_proj" in
+    let scores =
+      Graph.add g (p "attn_scores")
+        (Ops.Matmul.batch_matmul ~name:"attn_scores" ~batch:(batch * heads)
+           ~m:seq ~n:seq ~k:head_dim ())
+    in
+    let sm =
+      elt (p "softmax") ~from:scores ~shape:[ batch * heads; seq; seq ]
+    in
+    let _ctx =
+      Graph.add g ~deps:[ ("A", sm) ] (p "attn_context")
+        (Ops.Matmul.batch_matmul ~name:"attn_context" ~batch:(batch * heads)
+           ~m:seq ~n:head_dim ~k:seq ())
+    in
+    let op = gemm (p "out_proj") ~op:"out_proj" ~m:tokens ~k:hidden ~n:hidden () in
+    let res1 =
+      Graph.add g
+        ~deps:(("X", op) :: (match x with None -> [] | Some i -> [ ("Y", i) ]))
+        (p "residual1")
+        (Ops.Elementwise.add ~shape:[ tokens; hidden ] ())
+    in
+    let ln1 = elt (p "layernorm1") ~from:res1 ~shape:[ tokens; hidden ] in
+    let up = gemm (p "ffn_up") ~op:"ffn_up" ~deps:[ ("A", ln1) ] ~m:tokens ~k:hidden ~n:ffn () in
+    let gl = elt (p "gelu") ~from:up ~shape:[ tokens; ffn ] in
+    let down =
+      gemm (p "ffn_down") ~op:"ffn_down" ~deps:[ ("A", gl) ] ~m:tokens ~k:ffn ~n:hidden ()
+    in
+    let res2 =
+      Graph.add g ~deps:[ ("X", down); ("Y", ln1) ] (p "residual2")
+        (Ops.Elementwise.add ~shape:[ tokens; hidden ] ())
+    in
+    elt (p "layernorm2") ~from:res2 ~shape:[ tokens; hidden ]
+  in
+  let rec stack x l = if l = layers then x else stack (Some (layer_out x l)) (l + 1) in
+  let top = stack None 0 in
+  if lm_head > 0 then
+    ignore
+      (gemm "lm_head" ~op:"lm_head"
+         ?deps:(Option.map (fun i -> [ ("A", i) ]) top)
+         ~m:tokens ~k:hidden ~n:lm_head ()
+        : int);
+  Graph.build g
+
+let bert_small_graph ?(batch = 8) ?(seq = 128) () =
+  graph_stack ~name:"BERT-small" ~batch ~seq ~hidden:512 ~heads:8 ~ffn:2048
+    ~layers:4 ~lm_head:0
+
+let gpt2_graph ?(batch = 8) ?(seq = 128) () =
+  graph_stack ~name:"GPT-2" ~batch ~seq ~hidden:768 ~heads:12 ~ffn:3072
+    ~layers:12 ~lm_head:50257
+
 (* BERT-small: 4 layers, hidden 512, 8 heads, FFN 2048. *)
 let bert_small ?(batch = 8) ?(seq = 128) () =
   Model.v ~name:"BERT-small" ~batch

@@ -5,3 +5,10 @@ val bert_small : ?batch:int -> ?seq:int -> unit -> Model.t
 
 (** GPT-2 (124M): 12 layers, hidden 768, plus the vocabulary LM head. *)
 val gpt2 : ?batch:int -> ?seq:int -> unit -> Model.t
+
+(** Explicit encoder layers with the real residual stream (adds and
+    layernorms as nodes with edges); rank-changing attention reshapes carry
+    no edge.  [bert_small_graph] / [gpt2_graph] match the flat tables. *)
+val bert_small_graph : ?batch:int -> ?seq:int -> unit -> Graph.t
+
+val gpt2_graph : ?batch:int -> ?seq:int -> unit -> Graph.t

@@ -62,12 +62,24 @@ let run compute inputs =
       done
     | _ -> assert false
   in
+  (* The epilogue sees the reduced+scaled accumulator wherever it reads the
+     output tensor; other tensors resolve like body reads. *)
+  let apply_epilogue acc =
+    match Compute.epilogue compute with
+    | None -> acc
+    | Some e ->
+      let read tensor coords =
+        if tensor = Compute.out_name compute then acc else read tensor coords
+      in
+      Expr.eval ~read ~env:env_fn e
+  in
   let rec spatial_loop axes slots coords =
     match (axes, slots) with
     | [], [] ->
       let acc = ref (Compute.init compute) in
       reduce_loop reduce reduce_slots acc;
-      Tensor.set out (List.rev coords) (!acc *. Compute.scale compute)
+      Tensor.set out (List.rev coords)
+        (apply_epilogue (!acc *. Compute.scale compute))
     | ax :: axes', slot :: slots' ->
       for v = 0 to Axis.extent ax - 1 do
         slot.value <- v;

@@ -86,12 +86,23 @@ let run etir inputs =
       done
     end
   in
+  (* As in the reference interpreter: the epilogue sees the reduced+scaled
+     accumulator wherever it reads the output tensor. *)
+  let apply_epilogue acc =
+    match Compute.epilogue compute with
+    | None -> acc
+    | Some e ->
+      let read tensor coords =
+        if tensor = Compute.out_name compute then acc else read tensor coords
+      in
+      Expr.eval ~read ~env e
+  in
   (* One output element. *)
   let visit () =
     let acc = ref (Compute.init compute) in
     reduce_dim 0 acc;
     let coords = Array.to_list svals in
-    Tensor.set out coords (!acc *. Compute.scale compute);
+    Tensor.set out coords (apply_epilogue (!acc *. Compute.scale compute));
     Tensor.set coverage coords (Tensor.get coverage coords +. 1.0)
   in
   (* Elements of one logical unit's stripe. *)

@@ -30,4 +30,21 @@ val kind_to_string : kind -> string
     memory-bound (pooling, GEMV, elementwise). *)
 val is_compute_bound : t -> bool
 
+(** Epilogue capability flags for graph-level fusion: anchors (matmul/conv
+    classes) keep their own kernel and absorb pointwise tails; elementwise
+    ops are the tails.  Pools are neither. *)
+val is_fusion_anchor : t -> bool
+
+val is_epilogue : t -> bool
+
+(** [fuse_epilogue anchor ~fed_input consumer] folds a pointwise consumer
+    into the anchor's compute via {!Tensor_lang.Compute.fuse_epilogue},
+    keeping the anchor's kind.  Returns the fused op plus the operand
+    rename map, or a stable [GSR-F*] refusal. *)
+val fuse_epilogue :
+  t ->
+  fed_input:string ->
+  t ->
+  (t * (string * string) list, string * string) result
+
 val pp : t Fmt.t

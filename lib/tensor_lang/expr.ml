@@ -58,6 +58,27 @@ let rec flops t =
     ->
     1 + flops a + flops b
 
+let rec map_reads f t =
+  match t with
+  | Imm _ -> t
+  | Read access -> f access
+  | Neg a -> Neg (map_reads f a)
+  | Add (a, b) -> Add (map_reads f a, map_reads f b)
+  | Sub (a, b) -> Sub (map_reads f a, map_reads f b)
+  | Mul (a, b) -> Mul (map_reads f a, map_reads f b)
+  | Div (a, b) -> Div (map_reads f a, map_reads f b)
+  | Max (a, b) -> Max (map_reads f a, map_reads f b)
+  | Min (a, b) -> Min (map_reads f a, map_reads f b)
+
+let rename_vars ~bindings t =
+  let bindings = List.map (fun (v, v') -> (v, Index.var v')) bindings in
+  map_reads
+    (fun access ->
+      Read
+        (Access.v (Access.tensor access)
+           (List.map (Index.subst ~bindings) (Access.indices access))))
+    t
+
 let rec pp ppf t =
   match t with
   | Imm f -> Fmt.float ppf f

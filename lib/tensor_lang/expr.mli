@@ -36,4 +36,12 @@ val accesses : t -> Access.t list
 (** FLOPs per body evaluation: one per arithmetic node. *)
 val flops : t -> int
 
+(** [map_reads f t] rebuilds [t] with every [Read access] leaf replaced by
+    [f access] — the substitution primitive behind epilogue fusion. *)
+val map_reads : (Access.t -> t) -> t -> t
+
+(** [rename_vars ~bindings t] renames loop variables inside every access;
+    unlisted variables are untouched. *)
+val rename_vars : bindings:(string * string) list -> t -> t
+
 val pp : t Fmt.t

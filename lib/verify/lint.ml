@@ -129,7 +129,7 @@ let check etir ~kernel ~host =
   if count '{' <> count '}' then
     error ~code:"GSR-L09" ~loc:"kernel" "unbalanced braces (%d '{' vs %d '}')"
       (count '{') (count '}');
-  let kname = Fmt.str "%s_kernel" (Tensor_lang.Compute.name compute) in
+  let kname = Codegen.Cuda.kernel_symbol compute in
   if not (Scan.contains kernel kname) then
     error ~code:"GSR-L10" ~loc:"kernel" "kernel symbol %s not found" kname;
   if not (Scan.contains host (kname ^ "<<<")) then
