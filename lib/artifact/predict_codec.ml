@@ -1,0 +1,134 @@
+(* Wire format for trained cost-model predictors (Costmodel.Predict.model).
+
+   Same framed, checksummed, line-oriented text encoding as every other
+   artifact (see Codec): the model a bench trained on one machine loads on
+   any other or fails loudly.  The payload records the feature-schema width
+   so a model trained under an older Feature layout is rejected at load
+   time instead of silently mis-scoring.
+
+   Version 2 carries two optional heads (self / edge, DESIGN.md §14); each
+   present head is a bias + weight vector + stump list block. *)
+
+let ( let* ) = Result.bind
+
+(* Bumped when the payload layout changes (the feature schema itself is
+   guarded by the recorded width). *)
+let version = 2
+
+let encode_head b name (h : Costmodel.Predict.head option) =
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  match h with
+  | None -> line "head %s absent" name
+  | Some h ->
+    line "head %s present" name;
+    line "bias %s" (Codec.float_str h.Costmodel.Predict.h_bias);
+    line "weights %s"
+      (String.concat " "
+         (Array.to_list
+            (Array.map Codec.float_str h.Costmodel.Predict.h_weights)));
+    line "stumps %d" (Array.length h.Costmodel.Predict.h_stumps);
+    Array.iter
+      (fun (s : Costmodel.Predict.stump) ->
+        line "stump %d %s %s %s" s.Costmodel.Predict.s_feat
+          (Codec.float_str s.Costmodel.Predict.s_thresh)
+          (Codec.float_str s.Costmodel.Predict.s_left)
+          (Codec.float_str s.Costmodel.Predict.s_right))
+      h.Costmodel.Predict.h_stumps
+
+let encode (m : Costmodel.Predict.model) =
+  let b = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "predictor %d" version;
+  line "dim %d" Costmodel.Feature.dim;
+  encode_head b "self" m.Costmodel.Predict.m_self;
+  encode_head b "edge" m.Costmodel.Predict.m_edge;
+  Codec.frame (Buffer.contents b)
+
+let decode_head c ~dim name =
+  let* ln, toks = Codec.field c "head" in
+  let* got, toks = Codec.take_atom ~line:ln toks in
+  let* () =
+    if got = name then Ok ()
+    else Codec.error ln "expected head %s, found %s" name got
+  in
+  let* presence, toks = Codec.take_atom ~line:ln toks in
+  let* () = Codec.finish ~line:ln toks in
+  match presence with
+  | "absent" -> Ok None
+  | "present" ->
+    let* bias = Codec.field_float c "bias" in
+    let* weights = Codec.field_floats c "weights" in
+    let* () =
+      if List.length weights = dim then Ok ()
+      else
+        Codec.error (Codec.lineno c - 1) "expected %d weights, found %d" dim
+          (List.length weights)
+    in
+    let* n_stumps = Codec.field_int c "stumps" in
+    let rec read_stumps acc n =
+      if n = 0 then Ok (List.rev acc)
+      else
+        let* ln, toks = Codec.field c "stump" in
+        let* feat, toks = Codec.take_int ~line:ln toks in
+        let* thresh, toks = Codec.take_float ~line:ln toks in
+        let* left, toks = Codec.take_float ~line:ln toks in
+        let* right, toks = Codec.take_float ~line:ln toks in
+        let* () = Codec.finish ~line:ln toks in
+        let* () =
+          if feat >= 0 && feat < dim then Ok ()
+          else Codec.error ln "stump feature %d out of range [0, %d)" feat dim
+        in
+        read_stumps
+          ({ Costmodel.Predict.s_feat = feat; s_thresh = thresh; s_left = left;
+             s_right = right }
+          :: acc)
+          (n - 1)
+    in
+    let* stumps = read_stumps [] n_stumps in
+    Ok
+      (Some
+         { Costmodel.Predict.h_dim = dim;
+           h_weights = Array.of_list weights;
+           h_bias = bias;
+           h_stumps = Array.of_list stumps })
+  | other -> Codec.error ln "expected present or absent, found %s" other
+
+let decode_payload c =
+  let* v = Codec.field_int c "predictor" in
+  let* () =
+    if v = version then Ok ()
+    else
+      Codec.error (Codec.lineno c - 1)
+        "unsupported predictor version %d (this build reads %d)" v version
+  in
+  let* dim = Codec.field_int c "dim" in
+  let* () =
+    if dim = Costmodel.Feature.dim then Ok ()
+    else
+      Codec.error (Codec.lineno c - 1)
+        "feature width %d does not match this build's schema width %d" dim
+        Costmodel.Feature.dim
+  in
+  let* m_self = decode_head c ~dim "self" in
+  let* m_edge = decode_head c ~dim "edge" in
+  let* () =
+    if m_self = None && m_edge = None then
+      Codec.error (Codec.lineno c - 1) "predictor carries no trained head"
+    else Ok ()
+  in
+  Ok { Costmodel.Predict.m_self; m_edge }
+
+let decode text =
+  let* lines = Codec.unframe text in
+  let c = Codec.cursor ~base:Codec.payload_base lines in
+  decode_payload c
+
+let save ~path m =
+  let oc = open_out path in
+  output_string oc (encode m);
+  close_out oc
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error { Codec.line = 0; msg = m }
+  | text -> decode text

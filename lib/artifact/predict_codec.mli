@@ -1,0 +1,19 @@
+(** Wire format for trained cost-model predictors
+    ({!Costmodel.Predict.model}) — framed and checksummed like every other
+    artifact.  The payload records the feature-schema width, so a model
+    trained under a different {!Costmodel.Feature} layout is rejected at
+    load time instead of silently mis-scoring. *)
+
+(** Payload-layout version this build reads and writes. *)
+val version : int
+
+val encode : Costmodel.Predict.model -> string
+
+val decode : string -> (Costmodel.Predict.model, Codec.error) result
+
+(** [save ~path m] writes the framed model text to [path]. *)
+val save : path:string -> Costmodel.Predict.model -> unit
+
+(** [load ~path] reads and decodes a model file; IO errors surface as a
+    line-0 decode error. *)
+val load : path:string -> (Costmodel.Predict.model, Codec.error) result

@@ -27,7 +27,10 @@ let default_config = {
 
 type outcome = {
   final : Etir.t;
-  top_results : Etir.t list;  (* sampled states, deduplicated, final first *)
+  top_results : (Etir.t * Costmodel.Delta.components) list;
+      (* sampled states with the component records that travelled along the
+         construction edges, deduplicated, final first — the caller's final
+         scoring pass starts from ready-made analyses *)
   steps : int;                (* policy evaluations performed *)
   transitions_taken : int;    (* steps that actually moved *)
 }
@@ -44,10 +47,24 @@ let run ~hw ~rng ?(config = default_config) etir0 =
   (* One span per chain; under the domain pool these land on the worker's
      own lane in the trace. *)
   Trace.with_span ~name:"anneal.run" @@ fun () ->
-  let top : (string, Etir.t) Hashtbl.t = Hashtbl.create 64 in
-  let consider etir =
-    let key = Etir.signature etir in
-    if not (Hashtbl.mem top key) then Hashtbl.add top key etir
+  (* Sampled states, deduplicated by construction identity.  Keys are the
+     memoized evaluation fingerprint bucketed with the cursor (fingerprint
+     excludes [cur_level]); together with [eval_equal] this is exactly the
+     signature-string identity of the states, minus the ~3µs per sample the
+     string build used to cost. *)
+  let top : (int64, (Etir.t * Costmodel.Delta.components) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let consider etir comps =
+    let key = Etir.fingerprint etir in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt top key) in
+    if
+      not
+        (List.exists
+           (fun (e, _) ->
+             Etir.cur_level e = Etir.cur_level etir && Etir.eval_equal e etir)
+           bucket)
+    then Hashtbl.replace top key ((etir, comps) :: bucket)
   in
   (* [level_entry] is the iteration at which the chain entered the current
      memory level; the cache multiplier's clock restarts there.  [comps] is
@@ -55,19 +72,18 @@ let run ~hw ~rng ?(config = default_config) etir0 =
      so each policy step starts from a ready-made before-state analysis
      (the incremental engine's steady state — no memo lookup needed). *)
   let rec loop etir comps temperature ~iteration ~level_entry ~moved =
-    if temperature <= config.threshold then (etir, iteration, moved)
+    if temperature <= config.threshold then (etir, comps, iteration, moved)
     else begin
       let level_age = iteration - level_entry in
-      let choices =
-        Policy.transitions ~comps ~hw ~mode:config.mode ~iteration:level_age
-          etir
-      in
       let etir', comps', level_entry', moved' =
-        match Policy.select rng choices with
+        match
+          Policy.draw rng ~comps ~hw ~mode:config.mode ~iteration:level_age
+            etir
+        with
         | None -> (etir, comps, level_entry, moved)
         | Some choice ->
           if Rng.float rng < append_probability ~temperature then
-            consider choice.Policy.next;
+            consider choice.Policy.next choice.Policy.next_comps;
           let entry =
             match choice.Policy.action with
             | Action.Cache -> iteration + 1
@@ -80,15 +96,21 @@ let run ~hw ~rng ?(config = default_config) etir0 =
         ~level_entry:level_entry' ~moved:moved'
     end
   in
-  let final, steps, transitions_taken =
+  let final, final_comps, steps, transitions_taken =
     loop etir0
       (Costmodel.Delta.of_etir ~hw etir0)
       config.t0 ~iteration:0 ~level_entry:0 ~moved:0
   in
-  consider final;
+  consider final final_comps;
+  (* Same identity as the [consider] dedup (cursor + evaluation class) — not
+     [Etir.equal], whose signature-string build costs ~2µs per comparison
+     and used to dominate the whole chain tail. *)
+  let is_final etir =
+    Etir.cur_level etir = Etir.cur_level final && Etir.eval_equal etir final
+  in
   let top_results =
-    final
-    :: (Hashtbl.fold (fun _ etir acc -> etir :: acc) top []
-       |> List.filter (fun etir -> not (Etir.equal etir final)))
+    (final, final_comps)
+    :: (Hashtbl.fold (fun _ bucket acc -> List.rev_append bucket acc) top []
+       |> List.filter (fun (etir, _) -> not (is_final etir)))
   in
   { final; top_results; steps; transitions_taken }

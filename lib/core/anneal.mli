@@ -11,8 +11,9 @@ val default_config : config
 
 type outcome = {
   final : Sched.Etir.t;
-  top_results : Sched.Etir.t list;
-      (** sampled states, deduplicated, final state first *)
+  top_results : (Sched.Etir.t * Costmodel.Delta.components) list;
+      (** sampled states with the component records carried along the
+          construction edges, deduplicated, final state first *)
   steps : int;
   transitions_taken : int;
 }

@@ -46,3 +46,17 @@ val transitions :
 
 (** Roulette draw; [None] = stay in place. *)
 val select : Sched.Rng.t -> choice list -> choice option
+
+(** [draw rng ... etir] is [select rng (transitions ... etir)] fused into
+    one pass: same floats, same roulette weights, same RNG consumption —
+    bit-identical draws — without materialising the choice list.  The
+    annealing loop's hot path. *)
+val draw :
+  Sched.Rng.t ->
+  ?comps:Costmodel.Delta.components ->
+  hw:Hardware.Gpu_spec.t ->
+  mode:mode ->
+  iteration:int ->
+  Sched.Etir.t ->
+  choice option
+

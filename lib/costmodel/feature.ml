@@ -1,0 +1,115 @@
+(* Fixed-width feature vectors for the learned cost-model tier.
+
+   A feature row describes one scoring decision: the frozen component
+   analysis of a *source* state (block A) and the tiling descriptors of
+   the *scored* state (block B).  Two row kinds share the schema:
+
+   - edge rows: block A is the before-state's components, block B the
+     successor's descriptors — what the transition policy can afford to
+     compute per successor without running [Delta.child];
+   - self rows: block A and block B describe the same state — what the
+     optimizer's pooled-candidate filter sees, where the components
+     travelled along the construction edges for free.
+
+   Deliberately absent: any identity of the construction action that
+   produced the scored state.  An early schema carried an action one-hot,
+   and the trained model promptly used it as a confounder — actions common
+   late in good walks (rtile resizing) got a large positive prior that
+   outvoted the state descriptors, so sibling ranking degenerated into
+   ranking by action kind and the filtered walk span in place.  The label
+   is a property of the scored state alone; the features must be too.
+
+   Magnitudes spanning many octaves (traffic, footprints, tile products)
+   enter as [log1p]; bounded ratios (occupancy, tail efficiency) enter raw.
+   Level-indexed components are padded to [max_levels] so one model serves
+   every device; the width is a schema constant checked by the codec. *)
+
+(* Padded level count: component arrays carry levels [0..L] with L = 2 on
+   current GPU presets; 4 leaves headroom for deeper hierarchies without a
+   schema break. *)
+let max_levels = 4
+
+let comps_dim = (2 * (max_levels + 1)) + 9
+let state_dim = 5 + (2 * max_levels) + 7
+let dim = comps_dim + state_dim
+
+let ln1 v = Float.log (1.0 +. v)
+let ln1i v = ln1 (float_of_int v)
+
+(* ---------- block A: frozen Delta components ---------- *)
+
+let set_comps buf (c : Delta.components) =
+  let levels = Array.length c.Delta.traffic in
+  for l = 0 to max_levels do
+    buf.(l) <- (if l < levels then ln1 c.Delta.traffic.(l) else 0.0);
+    buf.(max_levels + 1 + l) <-
+      (if l < Array.length c.Delta.footprint then ln1i c.Delta.footprint.(l)
+       else 0.0)
+  done;
+  let base = 2 * (max_levels + 1) in
+  buf.(base) <- ln1 c.Delta.compulsory;
+  buf.(base + 1) <- float_of_int c.Delta.occ.Occupancy.blocks_per_sm;
+  buf.(base + 2) <- c.Delta.occ.Occupancy.sm_occupancy;
+  buf.(base + 3) <- c.Delta.occ.Occupancy.tail_efficiency;
+  buf.(base + 4) <- ln1i c.Delta.occ.Occupancy.waves;
+  buf.(base + 5) <- ln1i c.Delta.occ.Occupancy.global_threads;
+  buf.(base + 6) <- ln1 c.Delta.conflict_raw;
+  buf.(base + 7) <- ln1i c.Delta.chunk_flops;
+  buf.(base + 8) <- ln1 c.Delta.total_flops
+
+(* ---------- block B: tiling descriptors of the scored state ---------- *)
+
+let set_state buf etir =
+  let open Sched in
+  let b = comps_dim in
+  let levels = Etir.num_levels etir in
+  let ns = Etir.num_spatial etir and nr = Etir.num_reduce etir in
+  buf.(b) <- ln1i (Etir.threads_per_block etir);
+  buf.(b + 1) <- ln1i (Etir.logical_threads_per_block etir);
+  buf.(b + 2) <- ln1i (Etir.grid_blocks etir);
+  buf.(b + 3) <- float_of_int (Etir.cur_level etir);
+  buf.(b + 4) <- float_of_int levels;
+  (* Per-level effective tile volumes, spatial and reduce.  Products are
+     accumulated in float: extents can reach 2^30 and dims multiply. *)
+  for l = 0 to max_levels - 1 do
+    let sv = ref 1.0 and rv = ref 1.0 in
+    if l <= levels then begin
+      for d = 0 to ns - 1 do
+        sv := !sv *. float_of_int (Etir.stile_eff etir ~level:l ~dim:d)
+      done;
+      for d = 0 to nr - 1 do
+        rv := !rv *. float_of_int (Etir.rtile_eff etir ~level:l ~dim:d)
+      done;
+      buf.(b + 5 + l) <- ln1 !sv;
+      buf.(b + 5 + max_levels + l) <- ln1 !rv
+    end
+    else begin
+      buf.(b + 5 + l) <- 0.0;
+      buf.(b + 5 + max_levels + l) <- 0.0
+    end
+  done;
+  let c = b + 5 + (2 * max_levels) in
+  let vt = ref 1.0 in
+  for d = 0 to ns - 1 do
+    vt := !vt *. float_of_int (Etir.vthread etir ~dim:d)
+  done;
+  buf.(c) <- ln1 !vt;
+  buf.(c + 1) <- float_of_int ns;
+  buf.(c + 2) <- float_of_int nr;
+  let se = ref 1.0 and re = ref 1.0 in
+  Array.iter (fun e -> se := !se *. float_of_int e) (Etir.spatial_extents etir);
+  Array.iter (fun e -> re := !re *. float_of_int e) (Etir.reduce_extents etir);
+  buf.(c + 3) <- ln1 !se;
+  buf.(c + 4) <- ln1 !re;
+  buf.(c + 5) <- ln1i (Etir.reduce_steps_at etir ~level:0);
+  buf.(c + 6) <- ln1i (Etir.spatial_tiles_at etir ~level:(min 1 levels))
+
+(* ---------- whole rows ---------- *)
+
+let blank () = Array.make dim 0.0
+
+let vector ~comps ~state =
+  let buf = blank () in
+  set_comps buf comps;
+  set_state buf state;
+  buf

@@ -1,0 +1,36 @@
+(** Fixed-width feature vectors for the learned cost-model tier (DESIGN.md
+    §14).
+
+    A row flattens the frozen {!Delta.components} of a source state
+    (block A) and the tiling descriptors of the scored state (block B)
+    into [dim] floats.  Edge rows pair a before-state's components with a
+    successor's descriptors (the policy filter's view); self rows describe
+    one state twice (the pooled-candidate filter's view).  Wide-range
+    magnitudes enter as [log1p]; level-indexed terms are padded to
+    {!max_levels}.  The schema deliberately carries no action identity —
+    see the rationale in the implementation. *)
+
+(** Padded schedulable-level count; devices with more levels than this
+    cannot be featurised (the codec records the width, so a model trained
+    under one schema never silently mis-scores under another). *)
+val max_levels : int
+
+(** Total row width: [comps_dim + state_dim]. *)
+val dim : int
+
+val comps_dim : int
+val state_dim : int
+
+(** A fresh all-zero row. *)
+val blank : unit -> float array
+
+(** [set_comps buf c] writes block A into [buf.(0 .. comps_dim-1)].  Written
+    once per source state and shared across that state's successor rows. *)
+val set_comps : float array -> Delta.components -> unit
+
+(** [set_state buf etir] writes block B into
+    [buf.(comps_dim .. comps_dim+state_dim-1)]. *)
+val set_state : float array -> Sched.Etir.t -> unit
+
+(** [vector ~comps ~state] is a freshly allocated full row. *)
+val vector : comps:Delta.components -> state:Sched.Etir.t -> float array

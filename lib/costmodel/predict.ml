@@ -1,0 +1,404 @@
+(* The learned cost-model tier: dependency-free regressors over Feature
+   rows, trained on traces dumped by the bench harness.
+
+   The tier carries TWO heads over the same feature schema, because the two
+   places the search consults it ask structurally different questions:
+
+   - the SELF head ranks whole states against each other (the optimizer's
+     pooled-candidate filter, the graph explorer's depth cohorts).  Its
+     label is the absolute analytical score.
+   - the EDGE head ranks the successors of one state against their
+     siblings (the policy walk's roulette, opt-in).  Sibling score
+     differences are orders of magnitude smaller than the cross-state
+     spread, so a regressor trained on absolute scores fits the global
+     landscape and systematically mis-orders local gradients — measured on
+     GEMM walks it inverted the tile grow/shrink preference at every depth.
+     The edge head instead regresses the per-edge analytical benefit
+     (Eq. 1-3), which is exactly the quantity the roulette weights with, so
+     its ranking errors only perturb the transition distribution's tail.
+
+   Each head is a ridge-regularised linear fit optionally sharpened by a
+   few gradient-boosted depth-1 stumps on the residual.  Both parts operate
+   on raw feature space: training standardises internally for conditioning,
+   then folds mean/std back into the stored weights, so inference is one
+   dot product plus a handful of threshold tests — far cheaper than an
+   incremental [Delta.child] + benefit analysis.
+
+   Labels are log-transformed: predictions are only ever *compared* (the
+   two-phase search re-scores survivors exactly), so any strictly monotone
+   transform is sound, and the log keeps the least-squares objective from
+   being dominated by the fastest states. *)
+
+type stump = { s_feat : int; s_thresh : float; s_left : float; s_right : float }
+
+type head = {
+  h_dim : int;  (* must equal Feature.dim at load time *)
+  h_weights : float array;  (* raw-space linear weights, length h_dim *)
+  h_bias : float;
+  h_stumps : stump array;  (* additive residual corrections *)
+}
+
+type model = {
+  m_self : head option;
+  m_edge : head option;
+}
+
+(* Which distribution a trace row belongs to (and which head trains on
+   it). *)
+type kind = Self | Edge
+
+let self_head m = m.m_self
+let edge_head m = m.m_edge
+let head_dim h = h.h_dim
+let num_stumps h = Array.length h.h_stumps
+
+(* Label transform for SELF rows. *)
+let label_of_score s = Float.log (1.0 +. Float.max 0.0 s)
+
+(* Training label for one visited state.  The analytical score alone is the
+   wrong target: tile growth keeps raising modelled reuse far past the
+   shared-memory capacity, so a predictor trained on raw scores herds the
+   search into launch-infeasible territory and the candidate pool starves.
+   A three-decade penalty on infeasible states keeps their relative order
+   while placing all of them firmly below every feasible state. *)
+let training_label ~hw etir comps score =
+  let score =
+    if Mem_check.ok_fp etir ~hw ~footprints:comps.Delta.footprint then score
+    else score *. 1e-3
+  in
+  label_of_score score
+
+(* Label transform for EDGE rows: the per-edge analytical benefit is a
+   non-negative ratio (0 when the successor fails the capacity check), so
+   the same log compression applies. *)
+let label_of_benefit b = Float.log (1.0 +. Float.max 0.0 b)
+
+let infer h x =
+  let acc = ref h.h_bias in
+  for i = 0 to h.h_dim - 1 do
+    acc := !acc +. (h.h_weights.(i) *. Array.unsafe_get x i)
+  done;
+  Array.iter
+    (fun s ->
+      acc := !acc +. (if x.(s.s_feat) <= s.s_thresh then s.s_left else s.s_right))
+    h.h_stumps;
+  !acc
+
+(* ---------- training ---------- *)
+
+(* Dense Gaussian elimination with partial pivoting on the (d+1)-sized
+   ridge normal equations; d is Feature.dim (~40), so the cubic solve is
+   microseconds.  A vanishing pivot (an all-zero feature column exactly
+   collinear with the bias even after ridge) zeroes that weight instead of
+   failing: constant features carry no ranking information anyway. *)
+let solve_normal a b =
+  let n = Array.length b in
+  let sol = Array.make n 0.0 in
+  let live = Array.make n true in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+    done;
+    let p = !pivot in
+    if Float.abs a.(p).(col) < 1e-10 then live.(col) <- false
+    else begin
+      if p <> col then begin
+        let t = a.(p) in
+        a.(p) <- a.(col);
+        a.(col) <- t;
+        let t = b.(p) in
+        b.(p) <- b.(col);
+        b.(col) <- t
+      end;
+      for r = col + 1 to n - 1 do
+        let f = a.(r).(col) /. a.(col).(col) in
+        if f <> 0.0 then begin
+          for c = col to n - 1 do
+            a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+          done;
+          b.(r) <- b.(r) -. (f *. b.(col))
+        end
+      done
+    end
+  done;
+  for col = n - 1 downto 0 do
+    if live.(col) then begin
+      let acc = ref b.(col) in
+      for c = col + 1 to n - 1 do
+        acc := !acc -. (a.(col).(c) *. sol.(c))
+      done;
+      sol.(col) <- !acc /. a.(col).(col)
+    end
+  done;
+  sol
+
+(* One boosting round: the best squared-error depth-1 split on the residual,
+   found by a prefix-sum scan over each feature's sorted order.  [orders] is
+   precomputed once per training run. *)
+let best_stump xs residual orders =
+  let n = Array.length xs in
+  let total = Array.fold_left ( +. ) 0.0 residual in
+  let best = ref None in
+  Array.iteri
+    (fun feat order ->
+      let lsum = ref 0.0 in
+      for rank = 0 to n - 2 do
+        let i = order.(rank) in
+        lsum := !lsum +. residual.(i);
+        let here = xs.(i).(feat) and next = xs.(order.(rank + 1)).(feat) in
+        if here < next then begin
+          let ln = float_of_int (rank + 1) and rn = float_of_int (n - rank - 1) in
+          let rsum = total -. !lsum in
+          (* SSE reduction of splitting at this boundary. *)
+          let gain = (!lsum *. !lsum /. ln) +. (rsum *. rsum /. rn) in
+          match !best with
+          | Some (g, _, _, _, _) when g >= gain -> ()
+          | _ ->
+            best :=
+              Some
+                ( gain,
+                  feat,
+                  (here +. next) /. 2.0,
+                  !lsum /. ln,
+                  rsum /. rn )
+        end
+      done)
+    orders;
+  !best
+
+type report = {
+  r_samples : int;
+  r_holdout : int;
+  r_rmse : float;  (* on the holdout split, label units *)
+  r_corr : float;  (* Pearson correlation on the holdout split *)
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "%d samples (%d held out), rmse %.4f, corr %.4f" r.r_samples
+    r.r_holdout r.r_rmse r.r_corr
+
+let evaluate_head h samples =
+  let n = List.length samples in
+  if n = 0 then { r_samples = 0; r_holdout = 0; r_rmse = 0.0; r_corr = 0.0 }
+  else begin
+    let se = ref 0.0 in
+    let sp = ref 0.0 and sy = ref 0.0 and spp = ref 0.0 and syy = ref 0.0 in
+    let spy = ref 0.0 in
+    List.iter
+      (fun (x, y) ->
+        let p = infer h x in
+        se := !se +. ((p -. y) *. (p -. y));
+        sp := !sp +. p;
+        sy := !sy +. y;
+        spp := !spp +. (p *. p);
+        syy := !syy +. (y *. y);
+        spy := !spy +. (p *. y))
+      samples;
+    let nf = float_of_int n in
+    let cov = !spy -. (!sp *. !sy /. nf) in
+    let vp = !spp -. (!sp *. !sp /. nf) and vy = !syy -. (!sy *. !sy /. nf) in
+    let corr =
+      if vp <= 0.0 || vy <= 0.0 then 0.0 else cov /. Float.sqrt (vp *. vy)
+    in
+    { r_samples = n; r_holdout = n; r_rmse = Float.sqrt (!se /. nf);
+      r_corr = corr }
+  end
+
+let train_head ?(ridge = 1e-3) ?(boost = 48) samples =
+  Trace.with_span ~name:"predict.train"
+    ~args:[ ("samples", string_of_int (List.length samples)) ]
+  @@ fun () ->
+  match samples with
+  | [] -> Error "no training samples"
+  | (x0, _) :: _ when Array.length x0 <> Feature.dim ->
+    Error
+      (Fmt.str "feature width %d does not match schema width %d"
+         (Array.length x0) Feature.dim)
+  | _ ->
+    let d = Feature.dim in
+    let xs = Array.of_list (List.map fst samples) in
+    let ys = Array.of_list (List.map snd samples) in
+    let n = Array.length xs in
+    let nf = float_of_int n in
+    (* Standardise for conditioning; folded back into raw space below. *)
+    let mean = Array.make d 0.0 and var = Array.make d 0.0 in
+    Array.iter
+      (fun x ->
+        for i = 0 to d - 1 do
+          mean.(i) <- mean.(i) +. x.(i)
+        done)
+      xs;
+    for i = 0 to d - 1 do
+      mean.(i) <- mean.(i) /. nf
+    done;
+    Array.iter
+      (fun x ->
+        for i = 0 to d - 1 do
+          let c = x.(i) -. mean.(i) in
+          var.(i) <- var.(i) +. (c *. c)
+        done)
+      xs;
+    let scale =
+      Array.init d (fun i ->
+          let sd = Float.sqrt (var.(i) /. nf) in
+          if sd < 1e-12 then 0.0 else 1.0 /. sd)
+    in
+    (* Normal equations over standardised features plus a trailing bias
+       column; ridge is applied to every non-bias diagonal. *)
+    let a = Array.make_matrix (d + 1) (d + 1) 0.0 in
+    let b = Array.make (d + 1) 0.0 in
+    let z = Array.make (d + 1) 0.0 in
+    Array.iteri
+      (fun row x ->
+        for i = 0 to d - 1 do
+          z.(i) <- (x.(i) -. mean.(i)) *. scale.(i)
+        done;
+        z.(d) <- 1.0;
+        let y = ys.(row) in
+        for i = 0 to d do
+          let zi = z.(i) in
+          if zi <> 0.0 then begin
+            let ai = a.(i) in
+            for j = i to d do
+              ai.(j) <- ai.(j) +. (zi *. z.(j))
+            done;
+            b.(i) <- b.(i) +. (zi *. y)
+          end
+        done)
+      xs;
+    for i = 0 to d do
+      for j = 0 to i - 1 do
+        a.(i).(j) <- a.(j).(i)
+      done;
+      if i < d then a.(i).(i) <- a.(i).(i) +. (ridge *. nf)
+    done;
+    let sol = solve_normal a b in
+    (* Fold standardisation into raw-space weights:
+       w_std·(x-mean)·scale = (w_std·scale)·x - w_std·scale·mean. *)
+    let weights = Array.init d (fun i -> sol.(i) *. scale.(i)) in
+    let bias =
+      let acc = ref sol.(d) in
+      for i = 0 to d - 1 do
+        acc := !acc -. (weights.(i) *. mean.(i))
+      done;
+      !acc
+    in
+    (* Gradient boosting on the residual (squared loss, depth-1,
+       learning rate 0.5). *)
+    let linear = { h_dim = d; h_weights = weights; h_bias = bias; h_stumps = [||] } in
+    let preds = Array.map (fun x -> infer linear x) xs in
+    let stumps = ref [] in
+    if boost > 0 && n >= 16 then begin
+      let orders =
+        Array.init d (fun feat ->
+            let order = Array.init n (fun i -> i) in
+            Array.sort
+              (fun i j ->
+                let c = compare xs.(i).(feat) xs.(j).(feat) in
+                if c <> 0 then c else compare i j)
+              order;
+            order)
+      in
+      let residual = Array.make n 0.0 in
+      (try
+         for _round = 1 to boost do
+           for i = 0 to n - 1 do
+             residual.(i) <- ys.(i) -. preds.(i)
+           done;
+           match best_stump xs residual orders with
+           | None -> raise Exit
+           | Some (_, feat, thresh, left, right) ->
+             let lr = 0.5 in
+             let s =
+               { s_feat = feat; s_thresh = thresh; s_left = lr *. left;
+                 s_right = lr *. right }
+             in
+             stumps := s :: !stumps;
+             for i = 0 to n - 1 do
+               preds.(i) <-
+                 preds.(i)
+                 +. (if xs.(i).(s.s_feat) <= s.s_thresh then s.s_left
+                     else s.s_right)
+             done
+         done
+       with Exit -> ())
+    end;
+    Ok { linear with h_stumps = Array.of_list (List.rev !stumps) }
+
+let train ?ridge ?boost ~self ~edge () =
+  if self = [] && edge = [] then Error "no training samples"
+  else begin
+    let fit = function
+      | [] -> Ok None
+      | samples -> Result.map Option.some (train_head ?ridge ?boost samples)
+    in
+    let ( let* ) = Result.bind in
+    let* m_self = fit self in
+    let* m_edge = fit edge in
+    Ok { m_self; m_edge }
+  end
+
+(* ---------- the process-wide active model ---------- *)
+
+let c_hits = Trace.Counter.make "predict.hits"
+let c_filtered = Trace.Counter.make "predict.filtered"
+let c_fallbacks = Trace.Counter.make "predict.fallbacks"
+let c_infers = Trace.Counter.make "predict.infers"
+let c_tail = Trace.Counter.make "predict.tail_draws"
+
+let count_hits n = Trace.Counter.add c_hits n
+let count_filtered n = Trace.Counter.add c_filtered n
+let count_fallback () = Trace.Counter.incr c_fallbacks
+let count_infers n = Trace.Counter.add c_infers n
+let count_tail () = Trace.Counter.incr c_tail
+
+let topk_env () =
+  Trace.Env.float ~min:0.05 ~max:1.0 ~default:0.25 "GENSOR_PREDICT_TOPK"
+
+(* The walk filter defaults off: bisecting on gemm-1024 showed Gensor's
+   sibling benefits are too close together for a ranking model — any
+   useful top-k truncation of the roulette's tail moves the final schedule
+   ~15% off the oracle, and the lossless setting is slower than exact.
+   The lossless tier (pool / polish / graph cohort filters through the
+   self head) carries the speedup instead. *)
+let walk_env () = Trace.Env.bool ~default:false "GENSOR_PREDICT_WALK"
+
+type active = { a_model : model; a_topk : float; a_walk : bool; a_stamp : int }
+
+(* The stamp feeds memo-cache keys (Policy's transition memo): entries
+   computed under one predictor configuration must never serve another, so
+   every activation — including switching off — bumps it. *)
+let stamp_counter = Atomic.make 0
+let state : active option Atomic.t = Atomic.make None
+
+let set_active ?topk model =
+  let stamp = Atomic.fetch_and_add stamp_counter 1 + 1 in
+  match model with
+  | None -> Atomic.set state None
+  | Some m ->
+    let topk = match topk with Some k -> k | None -> topk_env () in
+    Atomic.set state
+      (Some { a_model = m; a_topk = Float.max 0.05 (Float.min 1.0 topk);
+              a_walk = walk_env (); a_stamp = stamp })
+
+let active () = Atomic.get state
+
+let generation () =
+  match Atomic.get state with None -> 0 | Some a -> a.a_stamp
+
+(* ---------- trace dumping ---------- *)
+
+(* The sink is installed by [bench --dump-traces]; producers (the policy,
+   the optimizer's final scoring pass, the graph explorer, the polish
+   scan) call [observe] with a row kind, a feature row and the exact
+   analytical label.  [dumping] is a single atomic load so the hot paths
+   pay nothing when no dump is active. *)
+let sink : (kind -> float array -> float -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_dump f = Atomic.set sink f
+let dumping () = Atomic.get sink <> None
+
+let observe kind x y =
+  match Atomic.get sink with None -> () | Some f -> f kind x y

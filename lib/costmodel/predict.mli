@@ -1,0 +1,151 @@
+(** The learned cost-model tier (DESIGN.md §14): dependency-free
+    regressors over {!Feature} rows used as search pre-filters.  The
+    predictor ranks frontier candidates; only the top-k fraction is
+    re-scored by the exact analytical model, so a mis-prediction costs
+    recall, never correctness of the surviving scores.
+
+    The tier carries two heads over the same feature schema: the {e self}
+    head ranks whole states against each other (absolute analytical score —
+    the optimizer's pooled-candidate filter, the graph explorer's depth
+    cohorts), and the {e edge} head ranks one state's successors against
+    their siblings (per-edge analytical benefit — the policy walk's
+    roulette, opt-in via GENSOR_PREDICT_WALK).  Sibling score differences
+    are far below the cross-state spread, so a single absolute-score
+    regressor mis-orders local gradients; the edge head regresses the
+    quantity the roulette actually weights with.  The polish neighbour
+    scan stays exact on purpose: with components carried along the edge
+    the exact evaluation is cheaper than feature extraction plus
+    inference (measured ~0.3µs vs ~0.6µs). *)
+
+(** A depth-1 regression stump on raw feature space. *)
+type stump = { s_feat : int; s_thresh : float; s_left : float; s_right : float }
+
+(** One regressor: ridge-linear weights plus boosted stumps. *)
+type head = {
+  h_dim : int;  (** trained feature width; must equal [Feature.dim] *)
+  h_weights : float array;
+  h_bias : float;
+  h_stumps : stump array;
+}
+
+(** A trained predictor.  Heads are optional — a trace containing only one
+    row kind still yields a usable model; filters whose head is absent
+    simply stay on the exact path. *)
+type model = {
+  m_self : head option;
+  m_edge : head option;
+}
+
+(** Trace-row / head kind: [Self] rows describe one state (absolute score
+    label), [Edge] rows describe a transition (benefit label). *)
+type kind = Self | Edge
+
+val self_head : model -> head option
+val edge_head : model -> head option
+val head_dim : head -> int
+val num_stumps : head -> int
+
+(** The label transform for self rows ([log1p] of the analytical score —
+    monotone; predictions are only compared). *)
+val label_of_score : float -> float
+
+(** [training_label ~hw etir comps score] is {!label_of_score} with a
+    three-decade penalty on launch-infeasible states ({!Mem_check.ok_fp}),
+    so the self head learns to rank the feasible region above the
+    infeasible one instead of chasing modelled reuse past the shared-memory
+    capacity. *)
+val training_label :
+  hw:Hardware.Gpu_spec.t -> Sched.Etir.t -> Delta.components -> float -> float
+
+(** The label transform for edge rows: [log1p] of the non-negative
+    analytical benefit ratio (Eq. 1-3; 0 when the successor fails the
+    capacity check). *)
+val label_of_benefit : float -> float
+
+(** Predicted label for one feature row.  One dot product plus the stump
+    thresholds; safe to call concurrently. *)
+val infer : head -> float array -> float
+
+(** [train_head ?ridge ?boost samples] fits the ridge linear model (normal
+    equations, [ridge] scaled by the sample count) and then [boost]
+    gradient-boosted stumps on the residual.  Errors on an empty sample
+    list or a feature-width mismatch. *)
+val train_head :
+  ?ridge:float ->
+  ?boost:int ->
+  (float array * float) list ->
+  (head, string) result
+
+(** [train ?ridge ?boost ~self ~edge ()] fits one head per non-empty sample
+    list.  Errors when both lists are empty (or a head fails to train). *)
+val train :
+  ?ridge:float ->
+  ?boost:int ->
+  self:(float array * float) list ->
+  edge:(float array * float) list ->
+  unit ->
+  (model, string) result
+
+type report = {
+  r_samples : int;
+  r_holdout : int;
+  r_rmse : float;
+  r_corr : float;  (** Pearson correlation between prediction and label *)
+}
+
+val pp_report : report Fmt.t
+
+(** Holdout-set accuracy of a trained head. *)
+val evaluate_head : head -> (float array * float) list -> report
+
+(** {2 Process-wide activation}
+
+    Search layers consult the active model on every frontier; activation is
+    process-global (like the incremental-evaluation gate) so the CLI's
+    [--predict]/GENSOR_PREDICT plumbing reaches every consumer. *)
+
+type active = {
+  a_model : model;
+  a_topk : float;  (** fraction of the frontier surviving to exact scoring *)
+  a_walk : bool;
+      (** apply the edge head inside the annealing walk's roulette
+          ([GENSOR_PREDICT_WALK], default off): measured to trade ~15%
+          schedule quality for speed, so it is opt-in/experimental *)
+  a_stamp : int;  (** memo-key stamp; bumps on every (de)activation *)
+}
+
+(** [set_active ?topk m] installs or clears the predictor.  [topk] defaults
+    to GENSOR_PREDICT_TOPK (via [Trace.Env.float], clamped to
+    [0.05, 1.0], default 0.25). *)
+val set_active : ?topk:float -> model option -> unit
+
+val active : unit -> active option
+
+(** Memo-key stamp of the current configuration; [0] when inactive. *)
+val generation : unit -> int
+
+(** {2 Counters}
+
+    Registered in [Trace.Counter] as [predict.hits] (survivors re-scored
+    exactly), [predict.filtered] (candidates skipped), [predict.fallbacks]
+    (filters abandoned for the exact path) and [predict.infers]. *)
+
+val count_hits : int -> unit
+val count_filtered : int -> unit
+val count_fallback : unit -> unit
+val count_infers : int -> unit
+
+val count_tail : unit -> unit
+(** One roulette draw landed on the aggregate predictor-tail slot. *)
+
+(** {2 Trace dumping}
+
+    [bench --dump-traces] installs a sink; search layers then emit
+    (kind, feature row, exact label) triples as training data.  [observe]
+    hands over ownership of the row array. *)
+
+val set_dump : (kind -> float array -> float -> unit) option -> unit
+
+val dumping : unit -> bool
+
+val observe : kind -> float array -> float -> unit

@@ -24,6 +24,8 @@ type t = {
   rtiles : int array array;   (* (L+1) rows; row l = reduce tiles at level l *)
   vthreads : int array;       (* per spatial dimension *)
   mutable fp : int64;         (* memoized fingerprint; 0 = not yet computed *)
+  sext : int array;           (* cached spatial axis extents (from compute) *)
+  rext : int array;           (* cached reduce axis extents (from compute) *)
 }
 
 let compute t = t.compute
@@ -54,21 +56,30 @@ let rtile_eff t ~level ~dim =
 
 let spatial_axes t = Array.of_list (Compute.spatial_axes t.compute)
 let reduce_axes t = Array.of_list (Compute.reduce_axes t.compute)
-let num_spatial t = Array.length (spatial_axes t)
-let num_reduce t = Array.length (reduce_axes t)
 
-let spatial_extents t = Array.map Axis.extent (spatial_axes t)
-let reduce_extents t = Array.map Axis.extent (reduce_axes t)
+(* Extents and axis counts are read in every hot analysis loop (benefit
+   context, feature extraction, launch bounds), so they are cached in the
+   record at construction instead of being rebuilt from the compute's axis
+   lists per call.  The cached arrays are shared — callers only read them. *)
+let num_spatial t = Array.length t.sext
+let num_reduce t = Array.length t.rext
+let spatial_extents t = t.sext
+let reduce_extents t = t.rext
+
+let extents_of compute =
+  ( Array.of_list (List.map Axis.extent (Compute.spatial_axes compute)),
+    Array.of_list (List.map Axis.extent (Compute.reduce_axes compute)) )
 
 let create ?(num_levels = 2) compute =
   if num_levels < 1 then invalid_arg "Etir.create: num_levels < 1";
   let n_spatial = List.length (Compute.spatial_axes compute) in
   let n_reduce = List.length (Compute.reduce_axes compute) in
+  let sext, rext = extents_of compute in
   { compute; num_levels; cur_level = num_levels;
     stiles = Array.make_matrix (num_levels + 1) n_spatial 1;
     rtiles = Array.make_matrix (num_levels + 1) (max n_reduce 1) 1;
     vthreads = Array.make n_spatial 1;
-    fp = 0L }
+    fp = 0L; sext; rext }
 
 (* Structural invariants; used by tests and re-checked after every action. *)
 let validate t =
@@ -234,7 +245,7 @@ let retarget t compute' =
     else Array.map (clamp_row rext) t.rtiles
   in
   let vthreads = Array.mapi (fun i v -> min v stiles.(0).(i)) t.vthreads in
-  { t with compute = compute'; stiles; rtiles; vthreads; fp = 0L }
+  { t with compute = compute'; stiles; rtiles; vthreads; fp = 0L; sext; rext }
 
 (* 64-bit structural hash over everything the cost model reads: compute
    identity and extents, level count, every tile and the vthread vector.
