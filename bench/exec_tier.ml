@@ -1,0 +1,71 @@
+(* Executor tiers: the compiled bytecode VM vs the tree-walking
+   interpreter, in domain points per second, on realistic shapes with
+   Roller-constructed schedules.  Both tiers run the same ETIR; the table's
+   last column is the VM's win.  Run with: dune exec bench/main.exe exec *)
+
+let hw = Hardware.Presets.rtx4090
+
+let cases () =
+  [ ("GEMM 128^3", Ops.Matmul.gemm ~m:128 ~n:128 ~k:128 ());
+    ("GEMM 256^3 (VM only)", Ops.Matmul.gemm ~m:256 ~n:256 ~k:256 ());
+    ("Conv 16ch 28x28 k3",
+     Ops.Conv.conv2d ~batch:1 ~in_channels:16 ~out_channels:16 ~height:28
+       ~width:28 ~kernel:3 ~stride:1 ());
+    ("MaxPool 32ch 56x56",
+     Ops.Pool.maxpool2d ~batch:1 ~channels:32 ~height:56 ~width:56 ~window:2
+       ~stride:2 ()) ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run () =
+  Ctx.section "Executor tiers — compiled VM vs interpreter (points/s)";
+  let rows =
+    List.map
+      (fun (label, op) ->
+        let compute = Ops.Op.compute op in
+        let etir = (Roller.construct ~hw compute).Roller.etir in
+        let inputs = Exec.Reference.random_inputs ~seed:3 compute in
+        let points = float_of_int (Tensor_lang.Compute.domain_points compute) in
+        let compiled, t_vm = time (fun () -> Exec.Compiled.run etir inputs) in
+        (* The interpreter's points/s is shape-insensitive, so the largest
+           case skips it instead of stalling the harness for seconds. *)
+        let interp_s =
+          if points > 8e6 then None
+          else begin
+            let interp, t_int =
+              time (fun () -> Exec.Scheduled.run etir inputs)
+            in
+            if
+              not
+                (Exec.Tensor.approx_equal interp.Exec.Scheduled.output
+                   compiled.Exec.Scheduled.output)
+            then Fmt.epr "exec: %s: tiers disagree!@." label;
+            Some (points /. t_int)
+          end
+        in
+        if not (Exec.Scheduled.coverage_exact compiled) then
+          Fmt.epr "exec: %s: compiled coverage not exact!@." label;
+        let vm_s = points /. t_vm in
+        (match interp_s with
+        | Some i when i > 0.0 ->
+          Ctx.record ~experiment:"exec" ~quantity:(label ^ " VM speedup")
+            ~measured:(vm_s /. i) ~unit_:"x" ()
+        | _ -> ());
+        [ label;
+          Fmt.str "%.2fM" (points /. 1e6);
+          Fmt.str "%.1f" (vm_s /. 1e6);
+          (match interp_s with
+          | Some i -> Fmt.str "%.1f" (i /. 1e6)
+          | None -> "-");
+          (match interp_s with
+          | Some i when i > 0.0 -> Fmt.str "%.1fx" (vm_s /. i)
+          | _ -> "-") ])
+      (cases ())
+  in
+  Report.Table.print
+    (Report.Table.v
+       ~headers:[ "case"; "points"; "VM Mpt/s"; "interp Mpt/s"; "speedup" ]
+       rows)

@@ -844,14 +844,15 @@ let bench_arm ?(warmup = 0) ~name ~jobs ~runs ?states f =
     b_hit_rate = hit_rate; b_prune_rate = None; b_jobs = jobs;
     b_counters = counters }
 
-let bench_json rows ~networks ~jobs ~speedup ~speedup_incremental ~predict =
+let bench_json rows ~networks ~jobs ~speedup ~speedup_incremental ~predict
+    ~exec =
   let buf = Buffer.create 1024 in
   let field_opt = function
     | None -> "null"
     | Some v -> Fmt.str "%.3f" v
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/5\",\n";
+  Buffer.add_string buf "  \"schema\": \"gensor-bench-compile/6\",\n";
   Buffer.add_string buf (Fmt.str "  \"jobs\": %d,\n" jobs);
   Buffer.add_string buf
     (Fmt.str "  \"cpus\": %d,\n" (Domain.recommended_domain_count ()));
@@ -873,6 +874,15 @@ let bench_json rows ~networks ~jobs ~speedup ~speedup_incremental ~predict =
          "  \"predict\": { \"enabled\": true, \"topk\": %.3f, \
           \"quality_eps\": %.6f, \"speedup_predict_vs_exact\": %s },\n"
          topk eps (field_opt sp)));
+  (* Executor-tier summary (schema /6): throughput of the compiled bytecode
+     VM vs the interpreter oracle, in domain points/s, plus their ratio.
+     The per-arm exec rows carry the same numbers in [states_per_s]. *)
+  (let compiled_s, interp_s, ratio = exec in
+   Buffer.add_string buf
+     (Fmt.str
+        "  \"exec\": { \"compiled_points_per_s\": %s, \
+         \"interp_points_per_s\": %s, \"speedup_compiled_vs_interp\": %s },\n"
+        (field_opt compiled_s) (field_opt interp_s) (field_opt ratio)));
   (* network-e2e arm: fused-vs-unfused whole-network latency from the graph
      schedule (Table-IV-style), one line per model. *)
   Buffer.add_string buf "  \"networks\": [\n";
@@ -1258,6 +1268,41 @@ let bench_cmd =
              let _, lookup = Dnn.Kernel_cache.compile cache gemm in
              assert (lookup = Dnn.Kernel_cache.Hit);
              0)));
+    (* Executor arms: throughput of the two execution tiers in domain
+       points/s (reported through the states/s column, so the --check
+       baseline guards them like any construction arm).  The compiled VM
+       runs the full benchmark shape; the interpreter oracle runs a smaller
+       instance — its points/s is shape-insensitive — so the arm stays
+       cheap.  Program compilation happens once outside the timed loop,
+       mirroring how the verifier amortises it across runs. *)
+    let gemm256 = Ops.Op.compute (Ops.Matmul.gemm ~m:256 ~n:256 ~k:256 ()) in
+    let gemm64 = Ops.Op.compute (Ops.Matmul.gemm ~m:64 ~n:64 ~k:64 ()) in
+    let exec_compiled =
+      let etir = (Roller.construct ~hw gemm256).Roller.etir in
+      let inputs = Exec.Reference.random_inputs ~seed:1 gemm256 in
+      let prog = Exec.Compiled.compile etir in
+      let pts = Tensor_lang.Compute.domain_points gemm256 in
+      bench_arm ~warmup:1 ~name:"exec-gemm256" ~jobs:1 ~runs ~states:()
+        (fun () ->
+          ignore (Exec.Compiled.run_compiled prog inputs);
+          pts)
+    in
+    arm exec_compiled;
+    let exec_interp =
+      let etir = (Roller.construct ~hw gemm64).Roller.etir in
+      let inputs = Exec.Reference.random_inputs ~seed:1 gemm64 in
+      let pts = Tensor_lang.Compute.domain_points gemm64 in
+      bench_arm ~warmup:1 ~name:"exec-gemm64-interp" ~jobs:1 ~runs ~states:()
+        (fun () ->
+          ignore (Exec.Scheduled.run etir inputs);
+          pts)
+    in
+    arm exec_interp;
+    let exec_speedup =
+      match (exec_compiled.b_states_s, exec_interp.b_states_s) with
+      | Some c, Some i when i > 0.0 -> Some (c /. i)
+      | _ -> None
+    in
     let rows = List.rev !rows in
     (* network-e2e arm: compile all three networks through the graph path,
        fused and unfused, and report whole-network latency from the graph
@@ -1310,6 +1355,12 @@ let bench_cmd =
     (match par.b_prune_rate with
     | Some r -> Fmt.pr "dominance pruning: %.1f%% of pooled candidates@." (100.0 *. r)
     | None -> ());
+    (match (exec_compiled.b_states_s, exec_interp.b_states_s, exec_speedup) with
+    | Some c, Some i, Some s ->
+      Fmt.pr
+        "executor: compiled %.0f Mpt/s vs interpreter %.1f Mpt/s (%.1fx)@."
+        (c /. 1e6) (i /. 1e6) s
+    | _ -> ());
     (match predict_summary with
     | None -> ()
     | Some (topk, eps, sp) ->
@@ -1330,7 +1381,8 @@ let bench_cmd =
       let oc = open_out file in
       output_string oc
         (bench_json rows ~networks ~jobs ~speedup ~speedup_incremental
-           ~predict:predict_summary);
+           ~predict:predict_summary
+           ~exec:(exec_compiled.b_states_s, exec_interp.b_states_s, exec_speedup));
       close_out oc;
       Fmt.pr "wrote %s@." file);
     report_trace ();
@@ -1361,6 +1413,17 @@ let bench_cmd =
               (100.0 *. eps) ]
         | _ -> []
       in
+      (* The compiled tier must hold its headline win over the interpreter
+         (well under the measured 70-150x, far above noise). *)
+      let exec_failure =
+        match exec_speedup with
+        | Some s when s < 20.0 ->
+          [ Fmt.str
+              "compiled executor only %.1fx faster than the interpreter \
+               (floor 20x)"
+              s ]
+        | _ -> []
+      in
       let failures =
         (match check_against_baseline rows file with
         | Ok () -> []
@@ -1370,7 +1433,7 @@ let bench_cmd =
           | names ->
             [ Fmt.str "fused e2e does not beat unfused on: %s"
                 (String.concat ", " names) ])
-        @ quality_failure
+        @ quality_failure @ exec_failure
       in
       match failures with
       | [] -> `Ok ()

@@ -29,10 +29,14 @@ let () =
   in
   let inputs = Exec.Reference.random_inputs small in
   let expected = Exec.Reference.run small inputs in
-  let executed = Exec.Scheduled.run small_schedule inputs in
-  Fmt.pr "numeric check (32x24x16 instance): coverage exact = %b, max |diff| = %.2e@.@."
+  let executed = Exec.Dispatch.run small_schedule inputs in
+  Fmt.pr
+    "numeric check (32x24x16 instance, %s tier): coverage exact = %b, max \
+     |diff| = %.2e, within tolerance = %b@.@."
+    (Exec.Dispatch.mode_name (Exec.Dispatch.mode ()))
     (Exec.Scheduled.coverage_exact executed)
-    (Exec.Tensor.max_abs_diff expected executed.Exec.Scheduled.output);
+    (Exec.Tensor.max_abs_diff expected executed.Exec.Scheduled.output)
+    (Exec.Tensor.approx_equal expected executed.Exec.Scheduled.output);
 
   (* 4. Emit the CUDA-like kernel. *)
   Fmt.pr "== generated kernel ==@.%s@.%s@."

@@ -1,0 +1,32 @@
+(** Compiled execution tier: an ETIR schedule lowered to a flat
+    register-based bytecode program (pre-resolved axis slots, precomputed
+    row-major strides, incremental offsets and specialised
+    multiply-accumulate / fold loops in the innermost reduce stripe), run
+    by a tight dispatch-loop VM.
+
+    Visit order is identical to {!Scheduled.run} — the interpreter stays
+    the differential-testing oracle; results agree up to floating-point
+    associativity.  The bytecode ISA and compilation scheme are documented
+    in DESIGN.md §15. *)
+
+type t
+(** A compiled program for one schedule. *)
+
+(** Lower a schedule's tiled loop nest to bytecode.  Raises
+    [Invalid_argument] on a body variable that is not an axis or a read of
+    an undeclared tensor (both already rejected by [Compute.v]). *)
+val compile : Sched.Etir.t -> t
+
+(** Run a compiled program.  Input tensors are matched by name and
+    validated against the declared shapes ([Invalid_argument] on a missing
+    input or shape mismatch).  Produces the same result type as
+    {!Scheduled.run}, including the per-element coverage tensor. *)
+val run_compiled : t -> (string * Tensor.t) list -> Scheduled.result
+
+(** [run etir inputs] is [run_compiled (compile etir) inputs].  Compilation
+    is microseconds; amortise it with {!compile} + {!run_compiled} only in
+    tight re-execution loops. *)
+val run : Sched.Etir.t -> (string * Tensor.t) list -> Scheduled.result
+
+(** One-line program summary (site/instruction counts, stripe kernel). *)
+val pp : t Fmt.t

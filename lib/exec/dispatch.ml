@@ -1,0 +1,22 @@
+(* Execution-tier selection.
+
+   The compiled bytecode VM is the default path; GENSOR_EXEC=interp drops
+   back to the tree-walking interpreter (the differential-testing oracle).
+   Reading the knob per call keeps the choice honest in test suites that
+   flip the environment between cases. *)
+
+type mode = Compiled | Interp
+
+let mode () =
+  Trace.Env.enum
+    ~values:
+      [ ("compiled", Compiled); ("vm", Compiled);
+        ("interp", Interp); ("interpreter", Interp) ]
+    ~default:Compiled "GENSOR_EXEC"
+
+let mode_name = function Compiled -> "compiled" | Interp -> "interp"
+
+let run etir inputs =
+  match mode () with
+  | Compiled -> Compiled.run etir inputs
+  | Interp -> Scheduled.run etir inputs

@@ -1,0 +1,18 @@
+(** Execution-tier selection: the compiled bytecode VM ({!Compiled}) by
+    default, the tree-walking interpreter ({!Scheduled}) as the oracle.
+
+    Selected by the [GENSOR_EXEC] environment variable
+    ([compiled]/[vm] or [interp]/[interpreter]; unrecognised values warn
+    once and fall back to the default, like every GENSOR_* knob). *)
+
+type mode = Compiled | Interp
+
+(** The tier [GENSOR_EXEC] currently selects (default [Compiled]);
+    re-read on every call. *)
+val mode : unit -> mode
+
+val mode_name : mode -> string
+
+(** Run a schedule on the selected tier.  Same contract as
+    {!Scheduled.run} / {!Compiled.run}. *)
+val run : Sched.Etir.t -> (string * Tensor.t) list -> Scheduled.result

@@ -1,0 +1,21 @@
+(* Shared post-reduction epilogue semantics.
+
+   Both interpreters (and, structurally, the compiled tier) agree on one
+   contract: the epilogue expression is evaluated once per output element
+   over the spatial environment, and a read of the compute's output tensor
+   inside it denotes the reduced-and-scaled accumulator — it never touches
+   memory.  Every other tensor resolves exactly like a body read.  This
+   module is the single home of that shadowing rule so oracle, interpreter
+   and VM cannot drift. *)
+
+open Tensor_lang
+
+let apply compute ~read ~env acc =
+  match Compute.epilogue compute with
+  | None -> acc
+  | Some e ->
+    let out = Compute.out_name compute in
+    let read tensor coords =
+      if String.equal tensor out then acc else read tensor coords
+    in
+    Expr.eval ~read ~env e

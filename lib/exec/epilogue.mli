@@ -1,0 +1,17 @@
+(** Shared post-reduction epilogue semantics.
+
+    One definition of the epilogue contract for every execution tier: the
+    epilogue runs once per output element over the spatial environment,
+    and a read of the compute's output tensor inside it denotes the
+    reduced-and-scaled accumulator (shadowing the [read] callback); other
+    tensors resolve through [read] like body accesses. *)
+
+(** [apply compute ~read ~env acc] is [acc] when [compute] has no
+    epilogue, else the epilogue's value with output reads shadowed by
+    [acc]. *)
+val apply :
+  Tensor_lang.Compute.t ->
+  read:(string -> int list -> float) ->
+  env:(string -> int) ->
+  float ->
+  float

@@ -63,16 +63,8 @@ let run compute inputs =
     | _ -> assert false
   in
   (* The epilogue sees the reduced+scaled accumulator wherever it reads the
-     output tensor; other tensors resolve like body reads. *)
-  let apply_epilogue acc =
-    match Compute.epilogue compute with
-    | None -> acc
-    | Some e ->
-      let read tensor coords =
-        if tensor = Compute.out_name compute then acc else read tensor coords
-      in
-      Expr.eval ~read ~env:env_fn e
-  in
+     output tensor; the shadowing rule lives in [Epilogue.apply]. *)
+  let apply_epilogue acc = Epilogue.apply compute ~read ~env:env_fn acc in
   let rec spatial_loop axes slots coords =
     match (axes, slots) with
     | [], [] ->

@@ -22,7 +22,12 @@ type result = {
 
 let ceil_div a b = (a + b - 1) / b
 
+let c_runs = Trace.Counter.make "exec.interp.runs"
+let c_points = Trace.Counter.make "exec.interp.points"
+
 let run etir inputs =
+  Trace.with_span ~name:"exec.interp.run" @@ fun () ->
+  Trace.Counter.incr c_runs;
   let compute = Etir.compute etir in
   let spatial = Array.of_list (Compute.spatial_axes compute) in
   let reduce = Array.of_list (Compute.reduce_axes compute) in
@@ -87,18 +92,12 @@ let run etir inputs =
     end
   in
   (* As in the reference interpreter: the epilogue sees the reduced+scaled
-     accumulator wherever it reads the output tensor. *)
-  let apply_epilogue acc =
-    match Compute.epilogue compute with
-    | None -> acc
-    | Some e ->
-      let read tensor coords =
-        if tensor = Compute.out_name compute then acc else read tensor coords
-      in
-      Expr.eval ~read ~env e
-  in
+     accumulator wherever it reads the output tensor ([Epilogue.apply]). *)
+  let apply_epilogue acc = Epilogue.apply compute ~read ~env acc in
   (* One output element. *)
+  let points = ref 0 in
   let visit () =
+    points := !points + max 1 (Array.fold_left ( * ) 1 rext);
     let acc = ref (Compute.init compute) in
     reduce_dim 0 acc;
     let coords = Array.to_list svals in
@@ -144,21 +143,34 @@ let run etir inputs =
     end
   in
   block_dim 0;
+  Trace.Counter.add c_points !points;
   { output = out; coverage }
 
-(* Every output element written exactly once. *)
-let coverage_exact result =
-  let ok = ref true in
-  let check coords =
-    if Tensor.get result.coverage coords <> 1.0 then ok := false
-  in
+(* Every output element written exactly once.  [coverage_violation] returns
+   the first offender (row-major order) with its observed count so a failing
+   partition property names the coordinate instead of a bare [false]. *)
+let coverage_violation result =
   let rec walk shape coords =
     match shape with
-    | [] -> check (List.rev coords)
+    | [] ->
+      let c = List.rev coords in
+      let count = Tensor.get result.coverage c in
+      if count <> 1.0 then Some (c, count) else None
     | d :: rest ->
-      for c = 0 to d - 1 do
-        walk rest (c :: coords)
-      done
+      let rec go c =
+        if c = d then None
+        else
+          match walk rest (c :: coords) with
+          | Some _ as hit -> hit
+          | None -> go (c + 1)
+      in
+      go 0
   in
-  walk (Tensor.shape result.coverage) [];
-  !ok
+  walk (Tensor.shape result.coverage) []
+
+let coverage_exact result = coverage_violation result = None
+
+let pp_coverage_violation ppf (coords, count) =
+  Fmt.pf ppf "output[%a] written %g times (expected 1)"
+    Fmt.(list ~sep:(any ",") int)
+    coords count

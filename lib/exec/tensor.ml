@@ -71,7 +71,41 @@ let max_abs_diff a b =
   done;
   !worst
 
-let approx_equal ?(tol = 1e-4) a b = max_abs_diff a b <= tol
+(* Mixed relative + absolute comparison.  A fixed absolute tolerance
+   mis-fires in both directions once reduction depth grows: accumulated
+   magnitudes make legitimate fp-reassociation error exceed it, and tiny
+   outputs can hide real bugs under it.  [rtol] scales with the larger
+   operand; [atol] keeps near-zero elements comparable.  The old
+   absolute-only behaviour is [~rtol:0.0 ~atol:tol]. *)
+let element_within ~atol ~rtol x y =
+  Float.abs (x -. y) <= atol +. (rtol *. Float.max (Float.abs x) (Float.abs y))
+
+let coords_of_offset shape off =
+  let n = Array.length shape in
+  let coords = Array.make n 0 in
+  let rem = ref off in
+  for i = n - 1 downto 0 do
+    coords.(i) <- !rem mod shape.(i);
+    rem := !rem / shape.(i)
+  done;
+  Array.to_list coords
+
+let first_mismatch ?(atol = 1e-6) ?(rtol = 1e-4) a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.first_mismatch: shape mismatch";
+  let n = Array.length a.data in
+  let rec go i =
+    if i = n then None
+    else if not (element_within ~atol ~rtol a.data.(i) b.data.(i)) then
+      Some (coords_of_offset a.shape i, a.data.(i), b.data.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let approx_equal ?(atol = 1e-6) ?(rtol = 1e-4) a b =
+  first_mismatch ~atol ~rtol a b = None
+
+let unsafe_data t = t.data
+let strides t = t.strides
 
 (* Zero-pad the two trailing (spatial) dimensions of an NCHW tensor; used to
    materialise the pre-padded inputs convolution definitions read. *)

@@ -22,7 +22,31 @@ val init : int list -> (int list -> float) -> t
 val fill_random : Sched.Rng.t -> t -> unit
 
 val max_abs_diff : t -> t -> float
-val approx_equal : ?tol:float -> t -> t -> bool
+
+(** [approx_equal ?atol ?rtol a b] holds when every element pair satisfies
+    the mixed criterion [|a-b| <= atol + rtol * max (|a|, |b|)]
+    (defaults [atol = 1e-6], [rtol = 1e-4]).  The relative term keeps the
+    comparison meaningful as reduction depth (and thus output magnitude)
+    grows; the absolute term covers near-zero elements.  The historical
+    absolute-only check is reachable as [~rtol:0.0 ~atol:tol]. *)
+val approx_equal : ?atol:float -> ?rtol:float -> t -> t -> bool
+
+(** First element pair (row-major order) violating the mixed criterion, as
+    [(coords, a_value, b_value)] — the diagnostic behind a failed
+    {!approx_equal}. *)
+val first_mismatch :
+  ?atol:float -> ?rtol:float -> t -> t -> (int list * float * float) option
+
+(** {2 Executor internals}
+
+    Raw access for the compiled execution tier; offsets must come from the
+    tensor's own row-major layout. *)
+
+(** The underlying row-major buffer (shared, not a copy). *)
+val unsafe_data : t -> float array
+
+(** Row-major strides, outermost first (shared, not a copy). *)
+val strides : t -> int array
 
 (** Zero-pad the two trailing dimensions of an NCHW tensor (for pre-padded
     convolution inputs). *)

@@ -83,6 +83,72 @@ let test_reference_missing_input () =
     (Invalid_argument "Reference: missing input A") (fun () ->
       ignore (Exec.Reference.run compute []))
 
+(* ---------- Tolerances and mismatch diagnostics ---------- *)
+
+let test_mixed_tolerance () =
+  let pair a b =
+    let ta = Exec.Tensor.create ~init:a [ 2 ] in
+    let tb = Exec.Tensor.create ~init:b [ 2 ] in
+    (ta, tb)
+  in
+  (* Large magnitudes: relative term absorbs what an absolute-only check
+     would reject. *)
+  let a, b = pair 1000.0 1000.05 in
+  Alcotest.(check bool) "rel term covers large values" true
+    (Exec.Tensor.approx_equal a b);
+  Alcotest.(check bool) "absolute-only check rejects it" false
+    (Exec.Tensor.approx_equal ~atol:1e-3 ~rtol:0.0 a b);
+  (* Near zero: absolute term covers noise below atol. *)
+  let a, b = pair 1e-9 0.0 in
+  Alcotest.(check bool) "atol covers near-zero" true
+    (Exec.Tensor.approx_equal a b);
+  (* Genuine divergence fails under the defaults but passes under the
+     historical absolute-only criterion. *)
+  let a, b = pair 1.0 1.001 in
+  Alcotest.(check bool) "1e-3 rel error rejected" false
+    (Exec.Tensor.approx_equal a b);
+  Alcotest.(check bool) "legacy absolute-only accepts it" true
+    (Exec.Tensor.approx_equal ~atol:1e-2 ~rtol:0.0 a b)
+
+let test_first_mismatch () =
+  let a = Exec.Tensor.init [ 2; 3 ] (fun _ -> 1.0) in
+  let b = Exec.Tensor.init [ 2; 3 ] (fun _ -> 1.0) in
+  Alcotest.(check bool) "equal tensors have no mismatch" true
+    (Exec.Tensor.first_mismatch a b = None);
+  Exec.Tensor.set b [ 1; 2 ] 2.0;
+  Exec.Tensor.set b [ 1; 0 ] 3.0;
+  (match Exec.Tensor.first_mismatch a b with
+   | Some (coords, av, bv) ->
+     Alcotest.(check (list int)) "row-major first offender" [ 1; 0 ] coords;
+     check_float "lhs value" 1.0 av;
+     check_float "rhs value" 3.0 bv
+   | None -> Alcotest.fail "mismatch not detected")
+
+let test_coverage_violation () =
+  let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:3 ~n:4 ~k:2 ()) in
+  let inputs = Exec.Reference.random_inputs compute in
+  let result = Exec.Scheduled.run (Etir.create compute) inputs in
+  Alcotest.(check bool) "clean run is exact" true
+    (Exec.Scheduled.coverage_exact result);
+  Alcotest.(check bool) "clean run has no violation" true
+    (Exec.Scheduled.coverage_violation result = None);
+  Exec.Tensor.set result.Exec.Scheduled.coverage [ 1; 2 ] 2.0;
+  (match Exec.Scheduled.coverage_violation result with
+   | Some (coords, count) ->
+     Alcotest.(check (list int)) "violating coordinate" [ 1; 2 ] coords;
+     check_float "observed count" 2.0 count;
+     let msg =
+       Fmt.str "%a" Exec.Scheduled.pp_coverage_violation (coords, count)
+     in
+     let contains s sub =
+       let n = String.length s and k = String.length sub in
+       let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "message names the coordinate" true
+       (contains msg "1,2")
+   | None -> Alcotest.fail "violation not detected")
+
 (* ---------- Scheduled vs reference ---------- *)
 
 let small_ops =
@@ -116,7 +182,44 @@ let random_schedule rng compute ~steps =
   done;
   !e
 
-let test_scheduled_matches_reference () =
+(* Three-way differential check of one schedule: interpreter vs reference,
+   compiled vs reference, compiled vs interpreter (bit-identical — the
+   compiled tier reproduces the interpreter's accumulation order), and
+   coverage exactness on both tiers.  Failures name the schedule and the
+   first offending coordinate. *)
+let check_differential ?(tag = "") compute etir inputs expected =
+  let fail_cov tier result =
+    match Exec.Scheduled.coverage_violation result with
+    | None -> ()
+    | Some v ->
+      Alcotest.failf "%s%s: %s coverage: %a" tag (Etir.signature etir) tier
+        Exec.Scheduled.pp_coverage_violation v
+  in
+  let fail_diff tier expected got =
+    match Exec.Tensor.first_mismatch expected got with
+    | None -> ()
+    | Some (coords, e, g) ->
+      Alcotest.failf "%s%s: %s diverges at [%a]: expected %g, got %g" tag
+        (Etir.signature etir) tier
+        Fmt.(list ~sep:(any ",") int)
+        coords e g
+  in
+  let interp = Exec.Scheduled.run etir inputs in
+  let compiled = Exec.Compiled.run etir inputs in
+  fail_cov "interp" interp;
+  fail_cov "compiled" compiled;
+  fail_diff "interp" expected interp.Exec.Scheduled.output;
+  fail_diff "compiled" expected compiled.Exec.Scheduled.output;
+  let vm_drift =
+    Exec.Tensor.max_abs_diff interp.Exec.Scheduled.output
+      compiled.Exec.Scheduled.output
+  in
+  if vm_drift <> 0.0 then
+    Alcotest.failf "%s%s: compiled tier drifts %.2e from the interpreter" tag
+      (Etir.signature etir) vm_drift;
+  ignore compute
+
+let test_executors_match_reference () =
   let rng = Rng.create ~seed:99 in
   List.iter
     (fun (name, make_op) ->
@@ -125,29 +228,64 @@ let test_scheduled_matches_reference () =
       let expected = Exec.Reference.run compute inputs in
       for _ = 1 to 3 do
         let etir = random_schedule rng compute ~steps:25 in
-        let result = Exec.Scheduled.run etir inputs in
-        if not (Exec.Scheduled.coverage_exact result) then
-          Alcotest.failf "%s: coverage not exact for %s" name
-            (Etir.signature etir);
-        let diff = Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output in
-        if diff > 1e-3 then
-          Alcotest.failf "%s: schedule diverges (%.2e) for %s" name diff
-            (Etir.signature etir)
+        check_differential ~tag:(name ^ ": ") compute etir inputs expected
       done)
     small_ops
 
+(* GEMM with a fused bias + ReLU epilogue: exercises the epilogue float
+   program and the accumulator-shadowing read on both executor tiers. *)
+let gemm_bias_relu ~m ~n ~k =
+  let open Tensor_lang in
+  let axes = [ Axis.spatial "i" m; Axis.spatial "j" n; Axis.reduce "k" k ] in
+  let inputs =
+    [ { Compute.in_name = "A"; in_shape = [ m; k ]; in_dtype = Dtype.F32 };
+      { Compute.in_name = "B"; in_shape = [ k; n ]; in_dtype = Dtype.F32 };
+      { Compute.in_name = "Bias"; in_shape = [ n ]; in_dtype = Dtype.F32 } ]
+  in
+  let body =
+    Expr.mul
+      (Expr.read "A" [ Index.var "i"; Index.var "k" ])
+      (Expr.read "B" [ Index.var "k"; Index.var "j" ])
+  in
+  let epilogue =
+    Expr.max_
+      (Expr.add
+         (Expr.read "C" [ Index.var "i"; Index.var "j" ])
+         (Expr.read "Bias" [ Index.var "j" ]))
+      (Expr.imm 0.0)
+  in
+  Compute.v ~name:"gemm_bias_relu" ~axes ~inputs ~out_name:"C" ~epilogue ~body
+    ()
+
+(* The differential computes: random tiles/vthreads run over a plain GEMM,
+   a Max_combine reduction (maxpool), and an epilogue-fused GEMM — the
+   three body/combine shapes the compiler specialises differently. *)
+let differential_computes =
+  [ ("gemm", fun () -> Ops.Op.compute (Ops.Matmul.gemm ~m:17 ~n:13 ~k:19 ()));
+    ("maxpool",
+     fun () ->
+       Ops.Op.compute
+         (Ops.Pool.maxpool2d ~batch:1 ~channels:2 ~height:9 ~width:9 ~window:3
+            ~stride:3 ()));
+    ("gemm+bias+relu", fun () -> gemm_bias_relu ~m:17 ~n:13 ~k:19) ]
+
 let prop_random_schedules_correct =
-  QCheck.Test.make ~count:60 ~name:"random gemm schedules preserve semantics"
-    QCheck.(make Gen.(pair (int_range 0 10_000) (int_range 0 50)))
-    (fun (seed, steps) ->
+  QCheck.Test.make ~count:60
+    ~name:"random schedules: compiled ≍ interp ≍ reference"
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 0 10_000) (int_range 0 50)
+            (int_range 0 (List.length differential_computes - 1))))
+    (fun (seed, steps, which) ->
       let rng = Rng.create ~seed in
-      let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:17 ~n:13 ~k:19 ()) in
+      let tag, make = List.nth differential_computes which in
+      let compute = make () in
       let inputs = Exec.Reference.random_inputs ~seed compute in
       let expected = Exec.Reference.run compute inputs in
       let etir = random_schedule rng compute ~steps in
-      let result = Exec.Scheduled.run etir inputs in
-      Exec.Scheduled.coverage_exact result
-      && Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output < 1e-3)
+      check_differential ~tag:(tag ^ ": ") compute etir inputs expected;
+      true)
 
 let prop_vthread_preserves_semantics =
   QCheck.Test.make ~count:60 ~name:"vthread stripes preserve semantics"
@@ -161,24 +299,92 @@ let prop_vthread_preserves_semantics =
       let e = Etir.with_stile e ~level:0 ~dim:0 t0 in
       let e = Etir.with_stile e ~level:1 ~dim:0 (min 29 (t0 * 2)) in
       let e = Etir.with_vthread e ~dim:0 v in
-      let result = Exec.Scheduled.run e inputs in
-      Exec.Scheduled.coverage_exact result
-      && Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output < 1e-3)
+      check_differential ~tag:"vthread: " compute e inputs expected;
+      true)
+
+(* Regression: a vthread count that does not divide the thread tile (stripe
+   = ceil 5/3 = 2, so the last stripe is ragged) must still partition the
+   output exactly on the compiled tier. *)
+let test_non_dividing_vthread_stripe () =
+  let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:29 ~n:23 ~k:7 ()) in
+  let inputs = Exec.Reference.random_inputs ~seed:7 compute in
+  let expected = Exec.Reference.run compute inputs in
+  let e = Etir.create compute in
+  let e = Etir.with_stile e ~level:0 ~dim:0 5 in
+  let e = Etir.with_stile e ~level:1 ~dim:0 13 in
+  let e = Etir.with_vthread e ~dim:0 3 in
+  check_differential ~tag:"ragged vthread: " compute e inputs expected
+
+(* ---------- Raised verification shapes ---------- *)
+
+(* Deep-reduction GEMM at the benchmark shape: 256^3, reduction depth 256.
+   The mixed tolerance is what makes this comparison meaningful — sums of
+   256 products reach magnitudes where a 1e-3 absolute bound is noise. *)
+let test_gemm256_compiled_matches_reference () =
+  let compute = Ops.Op.compute (Ops.Matmul.gemm ~m:256 ~n:256 ~k:256 ()) in
+  let inputs = Exec.Reference.random_inputs ~seed:11 compute in
+  let expected = Exec.Reference.run compute inputs in
+  let e = Etir.create compute in
+  let e = Etir.with_stile e ~level:1 ~dim:0 32 in
+  let e = Etir.with_stile e ~level:1 ~dim:1 64 in
+  let e = Etir.with_stile e ~level:0 ~dim:0 4 in
+  let e = Etir.with_stile e ~level:0 ~dim:1 2 in
+  let e = Etir.with_vthread e ~dim:1 2 in
+  let e = Etir.with_rtile e ~level:0 ~dim:0 4 in
+  let e = Etir.with_rtile e ~level:1 ~dim:0 32 in
+  let compiled = Exec.Compiled.run e inputs in
+  (match Exec.Scheduled.coverage_violation compiled with
+   | None -> ()
+   | Some v ->
+     Alcotest.failf "gemm256 coverage: %a" Exec.Scheduled.pp_coverage_violation
+       v);
+  match Exec.Tensor.first_mismatch expected compiled.Exec.Scheduled.output with
+  | None -> ()
+  | Some (coords, ev, gv) ->
+    Alcotest.failf "gemm256 diverges at [%a]: expected %g, got %g"
+      Fmt.(list ~sep:(any ",") int)
+      coords ev gv
+
+(* A real conv layer (32x32 channels, 28x28 spatial, 3x3 kernel) through
+   the full three-way differential. *)
+let test_conv_layer_differential () =
+  let compute =
+    Ops.Op.compute
+      (Ops.Conv.conv2d ~batch:1 ~in_channels:32 ~out_channels:32 ~height:28
+         ~width:28 ~kernel:3 ~stride:1 ())
+  in
+  let inputs = Exec.Reference.random_inputs ~seed:13 compute in
+  let expected = Exec.Reference.run compute inputs in
+  let rng = Rng.create ~seed:5 in
+  let etir = random_schedule rng compute ~steps:30 in
+  check_differential ~tag:"conv layer: " compute etir inputs expected
 
 let () =
   Alcotest.run "exec"
     [ ("tensor",
        [ Alcotest.test_case "basics" `Quick test_tensor_basics;
          Alcotest.test_case "init" `Quick test_tensor_init;
-         Alcotest.test_case "padding" `Quick test_tensor_pad ]);
+         Alcotest.test_case "padding" `Quick test_tensor_pad;
+         Alcotest.test_case "mixed tolerance" `Quick test_mixed_tolerance;
+         Alcotest.test_case "first mismatch" `Quick test_first_mismatch ]);
       ("reference",
        [ Alcotest.test_case "gemm 2x2" `Quick test_reference_gemm;
          Alcotest.test_case "avgpool scale" `Quick test_reference_avgpool_scale;
          Alcotest.test_case "maxpool combine" `Quick test_reference_maxpool;
          Alcotest.test_case "missing input" `Quick test_reference_missing_input
        ]);
-      ("scheduled",
-       [ Alcotest.test_case "matches reference on all op classes" `Slow
-           test_scheduled_matches_reference;
+      ("coverage",
+       [ Alcotest.test_case "violation diagnostics" `Quick
+           test_coverage_violation ]);
+      ("differential",
+       [ Alcotest.test_case "both tiers match reference on all op classes"
+           `Slow test_executors_match_reference;
+         Alcotest.test_case "non-dividing vthread stripe" `Quick
+           test_non_dividing_vthread_stripe;
          QCheck_alcotest.to_alcotest prop_random_schedules_correct;
-         QCheck_alcotest.to_alcotest prop_vthread_preserves_semantics ]) ]
+         QCheck_alcotest.to_alcotest prop_vthread_preserves_semantics ]);
+      ("raised shapes",
+       [ Alcotest.test_case "gemm 256^3 compiled vs reference" `Slow
+           test_gemm256_compiled_matches_reference;
+         Alcotest.test_case "conv 32ch 28x28 differential" `Slow
+           test_conv_layer_differential ]) ]

@@ -41,10 +41,10 @@ let test_optimized_schedules_are_correct () =
       let r = Gensor.Optimizer.optimize ~hw compute in
       let inputs = Exec.Reference.random_inputs compute in
       let expected = Exec.Reference.run compute inputs in
-      let result = Exec.Scheduled.run r.Gensor.Optimizer.etir inputs in
+      let result = Exec.Dispatch.run r.Gensor.Optimizer.etir inputs in
       check_bool "coverage exact" true (Exec.Scheduled.coverage_exact result);
       check_bool "numerically correct" true
-        (Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output < 1e-3))
+        (Exec.Tensor.approx_equal expected result.Exec.Scheduled.output))
     [ Ops.Matmul.gemm ~m:31 ~n:17 ~k:23 ();
       Ops.Conv.conv2d ~batch:2 ~in_channels:3 ~out_channels:5 ~height:11
         ~width:11 ~kernel:3 ~stride:2 ();
@@ -58,10 +58,10 @@ let test_baseline_schedules_are_correct () =
   let inputs = Exec.Reference.random_inputs compute in
   let expected = Exec.Reference.run compute inputs in
   let check_etir name etir =
-    let result = Exec.Scheduled.run etir inputs in
+    let result = Exec.Dispatch.run etir inputs in
     if not (Exec.Scheduled.coverage_exact result) then
       Alcotest.failf "%s: coverage broken" name;
-    if Exec.Tensor.max_abs_diff expected result.Exec.Scheduled.output > 1e-3
+    if not (Exec.Tensor.approx_equal expected result.Exec.Scheduled.output)
     then Alcotest.failf "%s: wrong results" name
   in
   check_etir "roller" (Roller.construct ~hw compute).Roller.etir;
